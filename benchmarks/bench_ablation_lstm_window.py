@@ -1,0 +1,84 @@
+"""ABLATION — LSTM window length.
+
+The paper fixes the LSTM at five timesteps.  This ablation sweeps the
+window length and reports experimental MSE and within-plateau standard
+deviation for each, quantifying the accuracy-vs-smoothness trade the
+time-series model makes.
+
+Expected shape: at matched (reduced) training budget the window length is
+not a decisive hyperparameter — all windows land within a small accuracy
+factor of each other, consistent with the paper fixing five steps without
+reporting a sweep.  The time-averaging benefit of windowed prediction is
+asserted against the conv model in bench_nmr_lstm.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    nmr_lstm_topology,
+    plateau_standard_deviation,
+    plateau_time_series,
+    sliding_windows,
+)
+
+from conftest import FULL_SCALE, print_table, scale, write_results
+from nmr_setup import campaign, synthetic_training_data
+
+WINDOWS = (1, 3, 5, 9)
+INPUT_SCALE = 0.1  # see bench_nmr_lstm.py
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    _, dataset = campaign()
+    x_train, y_train, _, _ = synthetic_training_data()
+    rng = np.random.default_rng(2)
+    x_seq, y_seq = plateau_time_series(
+        x_train, y_train, scale(3000, 30_000), rng
+    )
+    results = []
+    for window in WINDOWS:
+        x_windows, y_windows = sliding_windows(x_seq, y_seq, window)
+        model = nmr_lstm_topology().build((window, 1700), seed=0)
+        model.compile(nn.Adam(0.005, clipnorm=5.0), "mse")
+        model.fit(x_windows * INPUT_SCALE, y_windows,
+                  epochs=scale(10, 30), batch_size=64, seed=0)
+        exp_windows, exp_labels = sliding_windows(
+            dataset.spectra, dataset.reference_labels, window
+        )
+        pred = model.predict(exp_windows * INPUT_SCALE)
+        results.append(
+            {
+                "window": window,
+                "experimental_mse": nn.mean_squared_error(pred, exp_labels),
+                "plateau_std": plateau_standard_deviation(
+                    pred, dataset.plateau_ids[window - 1:]
+                ),
+            }
+        )
+    return results
+
+
+def test_lstm_window_sweep(benchmark, sweep):
+    """Benchmarked op: slicing the campaign into LSTM windows."""
+    _, dataset = campaign()
+    benchmark(
+        lambda: sliding_windows(dataset.spectra, dataset.reference_labels, 5)
+    )
+    print_table(
+        "Ablation: LSTM window length (paper uses 5)",
+        sweep,
+        ["window", "experimental_mse", "plateau_std"],
+    )
+    write_results("ablation_lstm_window", {"rows": sweep})
+    mses = [row["experimental_mse"] for row in sweep]
+    # At the reduced training budget the window length is NOT a decisive
+    # hyperparameter: every window reaches usable accuracy and the spread
+    # across windows stays within a small factor — consistent with the
+    # paper picking 5 without reporting a sweep.  (The time-averaging
+    # benefit of windowing is asserted against the conv model in
+    # bench_nmr_lstm.py, where the LSTM trains to convergence.)
+    assert all(mse < 5e-4 for mse in mses)
+    assert max(mses) / min(mses) < 3.0

@@ -1,0 +1,79 @@
+"""FIG4 — ideal line spectrum (Tool 1) vs simulated continuous spectrum (Tool 3).
+
+Regenerates the two series of the paper's Fig. 4 for one mixture: the stick
+spectrum from the line-spectra simulator and the continuous, noisy spectrum
+from the device simulator — including the ignition-gas peak that appears in
+the continuous spectrum "which has no counterpart in the line spectrum".
+
+The benchmark times the Tool-3 rendering step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ms import (
+    InstrumentCharacteristics,
+    MassSpectrometerSimulator,
+    default_library,
+    ideal_mixture_spectrum,
+)
+
+from conftest import print_table, write_results
+from ms_setup import AXIS, TASK
+
+MIXTURE = {"N2": 0.40, "O2": 0.15, "Ar": 0.10, "CO2": 0.20, "CH4": 0.10, "H2O": 0.05}
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return MassSpectrometerSimulator(
+        InstrumentCharacteristics(), AXIS, default_library()
+    )
+
+
+def test_fig4_series(benchmark, simulator):
+    """Regenerate Fig. 4's two series and verify the ignition-gas artifact.
+
+    The benchmarked operation is the Tool-3 rendering step (line spectrum
+    -> continuous spectrum)."""
+    library = default_library()
+    lines = ideal_mixture_spectrum(MIXTURE, library)
+    rng = np.random.default_rng(4)
+    continuous = benchmark(lambda: simulator.render(lines, rng=rng))
+
+    line_rows = [
+        {"mz": float(mz), "intensity": float(i)}
+        for mz, i in zip(lines.mz, lines.intensities)
+    ]
+    # Continuous-series summary: intensity at each line position plus the
+    # ignition-gas position.
+    positions = sorted(set(lines.mz.tolist()) | {4.0})
+    continuous_rows = [
+        {
+            "mz": float(mz),
+            "intensity": float(continuous.intensities[AXIS.index_of(mz)]),
+        }
+        for mz in positions
+    ]
+    ignition = continuous.intensities[AXIS.index_of(4.0)]
+    ideal_at_4 = next((i for mz, i in zip(lines.mz, lines.intensities)
+                       if abs(mz - 4.0) < 0.2), 0.0)
+    assert ignition > 0.03, "ignition-gas peak missing from continuous spectrum"
+    assert ideal_at_4 == 0.0, "ideal spectrum must have no line at m/z 4"
+
+    print_table("Fig. 4 ideal line spectrum (blue)", line_rows, ["mz", "intensity"])
+    print_table(
+        "Fig. 4 simulated continuous spectrum (orange), at line positions",
+        continuous_rows,
+        ["mz", "intensity"],
+    )
+    write_results(
+        "fig4_spectrum_rendering",
+        {
+            "mixture": MIXTURE,
+            "ideal_lines": line_rows,
+            "continuous_at_lines": continuous_rows,
+            "ignition_gas_peak": {"mz": 4.0, "intensity": float(ignition)},
+            "full_continuous_spectrum": continuous.intensities.tolist(),
+        },
+    )

@@ -1,0 +1,100 @@
+"""FIG6 — MAE vs number of measurement series used to parameterize the simulator.
+
+Characterizes the simulator from 10/25/50/75/100/150 measurement series per
+mixture (14 mixtures each, as in the paper), trains one Table-1 network per
+simulator and evaluates all on the same measured spectra.
+
+Expected shape (paper): on simulated validation data all six networks are
+equivalent (~0.2 %); on measured data the 10-series simulator is clearly
+worst (2.18 %) while the others land in a 1.4-1.9 % band without a
+monotonic trend — more characterization data does not automatically give a
+better network.
+
+The benchmark times Tool-2 characterization itself at the 25-series point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import table1_topology
+from repro.ms.characterization import characterize_instrument
+from repro.ms.compounds import default_library
+from repro.ms.simulator import MassSpectrometerSimulator
+
+from conftest import FULL_SCALE, print_table, scale, write_results
+from ms_setup import (
+    AXIS,
+    TASK,
+    calibration_measurements,
+    evaluation_measurements,
+    make_prototype,
+    train_and_score,
+)
+
+SAMPLE_SIZES = (10, 25, 50, 75, 100, 150) if FULL_SCALE else (10, 25, 50, 100)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    instrument, rig = make_prototype(seed=6)
+    # One big calibration campaign; each sweep point uses a prefix of the
+    # per-mixture series (the paper randomly selected series; a prefix of a
+    # randomized campaign is equivalent and reproducible).
+    campaign = {
+        n: calibration_measurements(rig, samples_per_mixture=n, seed=2021 + n)
+        for n in SAMPLE_SIZES
+    }
+    eval_meas = evaluation_measurements(instrument, rig)
+    library = default_library()
+    results = []
+    for n, measurements in campaign.items():
+        characterization = characterize_instrument(measurements, TASK, library)
+        simulator = MassSpectrometerSimulator(
+            characterization.characteristics, AXIS, library
+        )
+        network = train_and_score(
+            simulator,
+            table1_topology(len(TASK), name=f"table1_n{n}"),
+            eval_meas,
+            seed=0,
+        )
+        results.append((n, characterization, network))
+    return results, campaign
+
+
+def test_fig6_sample_size_study(benchmark, sweep):
+    """Regenerate Fig. 6; the benchmarked op is Tool-2 characterization."""
+    results, campaign = sweep
+    library = default_library()
+    measurements = campaign[25]
+    benchmark.pedantic(
+        lambda: characterize_instrument(measurements, TASK, library),
+        iterations=1,
+        rounds=3,
+    )
+    rows = []
+    for n, characterization, network in results:
+        rows.append(
+            {
+                "series_per_mixture": n,
+                "peaks_used": characterization.n_peaks_used,
+                "simulated_mae_pct": 100.0 * network.validation_mae,
+                "measured_mae_pct": 100.0 * network.measured_report["mean"],
+            }
+        )
+    print_table(
+        "Fig. 6: MAE vs simulator characterization sample count",
+        rows,
+        ["series_per_mixture", "peaks_used", "simulated_mae_pct", "measured_mae_pct"],
+    )
+    write_results("fig6_sample_sizes", {"rows": rows})
+
+    simulated = [row["simulated_mae_pct"] for row in rows]
+    measured = {row["series_per_mixture"]: row["measured_mae_pct"] for row in rows}
+
+    # Paper: simulated performance is essentially flat across sample sizes.
+    assert max(simulated) - min(simulated) < 1.5
+    # Paper: the 10-series network is not the best one on measured data.
+    assert measured[10] > min(measured.values())
+    # And every network stays in a usable band (paper: 1.4-2.2 %).
+    assert all(value < 6.0 for value in measured.values())

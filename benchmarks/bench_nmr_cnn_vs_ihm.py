@@ -1,0 +1,77 @@
+"""NMR-CNN — augmentation-trained conv ANN vs IHM on experimental spectra.
+
+Regenerates the §III.B.3 accuracy comparison: the 10 532-parameter conv
+network (trained purely on IHM-simulated spectra) and the IHM fitting
+baseline are both scored against the high-field reference labels of the
+experimental campaign.
+
+Expected shape (paper): the conv ANN's MSE is at or below IHM's (paper
+reports ~5 % lower).
+
+The benchmark times one IHM fit (the expensive baseline).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nmr import IHMAnalysis
+
+from conftest import print_table, scale, write_results
+from nmr_setup import campaign, trained_conv
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    models, dataset = campaign()
+    conv = trained_conv()
+    subset = np.linspace(0, len(dataset) - 1, scale(40, 297)).astype(int)
+    conv_pred = conv.predict(dataset.spectra)
+    ihm = IHMAnalysis(models)
+    ihm_pred = ihm.predict(dataset.spectra[subset])
+    return dataset, subset, conv_pred, ihm_pred, ihm
+
+
+def test_nmr_cnn_vs_ihm(benchmark, comparison):
+    """Regenerate the accuracy comparison; the benchmarked op is one IHM fit."""
+    dataset, subset, conv_pred, ihm_pred, ihm = comparison
+    benchmark.pedantic(
+        lambda: ihm.analyze(dataset.spectra[0]), iterations=1, rounds=3
+    )
+    reference = dataset.reference_labels
+    conv_mse_all = nn.mean_squared_error(conv_pred, reference)
+    conv_mse = nn.mean_squared_error(conv_pred[subset], reference[subset])
+    ihm_mse = nn.mean_squared_error(ihm_pred, reference[subset])
+
+    rows = [
+        {"method": "conv ANN (10532 params)", "mse": conv_mse,
+         "rmse_mol_per_l": float(np.sqrt(conv_mse))},
+        {"method": "IHM fit", "mse": ihm_mse,
+         "rmse_mol_per_l": float(np.sqrt(ihm_mse))},
+    ]
+    print_table(
+        "NMR: conv ANN vs IHM on experimental spectra "
+        "(paper: ANN ~5 % lower MSE)",
+        rows,
+        ["method", "mse", "rmse_mol_per_l"],
+    )
+    per_component = {
+        name: float(np.mean((conv_pred[:, j] - reference[:, j]) ** 2))
+        for j, name in enumerate(dataset.component_names)
+    }
+    write_results(
+        "nmr_cnn_vs_ihm",
+        {
+            "conv_mse_all": conv_mse_all,
+            "conv_mse_subset": conv_mse,
+            "ihm_mse_subset": ihm_mse,
+            "mse_ratio_conv_over_ihm": conv_mse / ihm_mse,
+            "per_component_conv_mse": per_component,
+            "subset_size": int(len(subset)),
+        },
+    )
+
+    # Shape: the ANN matches or beats IHM (paper: 5 % lower MSE).
+    assert conv_mse <= ihm_mse * 1.1
+    # And the ANN is genuinely accurate: RMSE below 8 mM on a ~0.5 M scale.
+    assert conv_mse_all < 6e-5

@@ -1,0 +1,63 @@
+"""SEC4 — FPGA overlay acceleration (discussion-section claims).
+
+Regenerates the §IV numbers: the FGPU soft GPU accelerates ANN GEMM
+kernels by ~4.2x over an embedded ARM core with NEON, and persistent-DL
+specialization pushes this by ~100x; the VCGRA overlay sits in between.
+
+The benchmark times the overlay cost-model evaluation.
+"""
+
+import pytest
+
+from repro.core import nmr_lstm_topology, table1_topology
+from repro.embedded.overlays import (
+    FGPU_SOFT_GPU,
+    FGPU_SPECIALIZED,
+    VCGRA_OVERLAY,
+    ZYNQ_ARM_A9,
+    estimate_overlay_speedup,
+)
+
+from conftest import print_table, write_results
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {
+        "table1_cnn": table1_topology(14).build((1000,), seed=0),
+        "nmr_lstm": nmr_lstm_topology().build((5, 1700), seed=0),
+    }
+
+
+def test_overlay_speedups(benchmark, networks):
+    """Regenerate §IV speedups; benchmarked op: one overlay estimate."""
+    benchmark(
+        lambda: FGPU_SOFT_GPU.estimate_seconds(networks["table1_cnn"], 21_600)
+    )
+    rows = []
+    for net_name, model in networks.items():
+        for overlay_name, overlay in (
+            ("FGPU soft GPU", FGPU_SOFT_GPU),
+            ("VCGRA overlay", VCGRA_OVERLAY),
+            ("FGPU specialized", FGPU_SPECIALIZED),
+        ):
+            rows.append(
+                {
+                    "network": net_name,
+                    "overlay": overlay_name,
+                    "speedup_vs_arm": estimate_overlay_speedup(model, overlay),
+                }
+            )
+    print_table(
+        "Sec. IV: overlay speedups over Zynq ARM "
+        "(paper: FGPU ~4.2x, specialized ~100x)",
+        rows,
+        ["network", "overlay", "speedup_vs_arm"],
+    )
+    write_results("overlay_acceleration", {"rows": rows})
+
+    cnn = {r["overlay"]: r["speedup_vs_arm"] for r in rows
+           if r["network"] == "table1_cnn"}
+    assert 3.4 < cnn["FGPU soft GPU"] < 5.0
+    assert 60 < cnn["FGPU specialized"] < 140
+    assert cnn["FGPU soft GPU"] < cnn["VCGRA overlay"] < cnn["FGPU specialized"]

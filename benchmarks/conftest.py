@@ -1,0 +1,59 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index).  Default sizes are scaled down so the whole suite runs
+on a laptop CPU in minutes; set ``REPRO_FULL=1`` to run at paper scale
+(100k MS spectra, 300k NMR spectra, full epoch counts).
+
+Each bench both *prints* its result rows (run with ``-s`` to see them
+live) and writes them as JSON to ``benchmarks/results/`` so the numbers
+are recorded regardless of output capture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
+
+
+def scale(small: int, full: int) -> int:
+    """Pick the reduced or paper-scale size for a workload parameter."""
+    return full if FULL_SCALE else small
+
+
+def write_results(name: str, payload: dict) -> Path:
+    """Persist one bench's result rows under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+def print_table(title: str, rows: list, columns: list) -> None:
+    """Print an aligned result table (visible with pytest -s)."""
+    print(f"\n=== {title} ===")
+    header = "  ".join(f"{c:>14s}" for c in columns)
+    print(header)
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>14.4f}")
+            else:
+                cells.append(f"{str(value):>14s}")
+        print("  ".join(cells))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,75 @@
+"""Shared NMR experiment setup for the Part-B benchmarks.
+
+One virtual campaign (27-point DoE x 11 spectra ~ the paper's 300 raw
+spectra), one augmentation simulator and one trained conv network are built
+once and shared across the NMR benches.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.core.topologies import nmr_conv_topology
+from repro.nmr import (
+    DoEPlan,
+    FlowReactorExperiment,
+    NMRSpectrumSimulator,
+    ReactionKinetics,
+    VirtualNMRSpectrometer,
+    mndpa_reaction_models,
+)
+
+from conftest import scale
+
+_CACHE = {}
+
+
+def campaign():
+    """(models, experimental ReactionDataset); built once per session."""
+    if "campaign" not in _CACHE:
+        models = mndpa_reaction_models()
+        experiment = FlowReactorExperiment(
+            ReactionKinetics(),
+            VirtualNMRSpectrometer.benchtop(models, seed=0),
+            seed=0,
+        )
+        _CACHE["campaign"] = (models, experiment.run(DoEPlan.full_factorial(), 11))
+    return _CACHE["campaign"]
+
+
+def augmentation_simulator() -> NMRSpectrumSimulator:
+    if "simulator" not in _CACHE:
+        models, dataset = campaign()
+        _CACHE["simulator"] = NMRSpectrumSimulator.from_dataset(models, dataset)
+    return _CACHE["simulator"]
+
+
+def synthetic_training_data() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(x_train, y_train, x_val, y_val) synthetic spectra (paper: 300 000)."""
+    if "training_data" not in _CACHE:
+        simulator = augmentation_simulator()
+        rng = np.random.default_rng(0)
+        n_train = scale(6000, 300_000)
+        x_train, y_train = simulator.generate_dataset(n_train, rng)
+        x_val, y_val = simulator.generate_dataset(max(n_train // 8, 300), rng)
+        _CACHE["training_data"] = (x_train, y_train, x_val, y_val)
+    return _CACHE["training_data"]
+
+
+def trained_conv() -> nn.Sequential:
+    """The paper's 10 532-parameter conv net, trained on synthetic data."""
+    if "conv" not in _CACHE:
+        x_train, y_train, x_val, y_val = synthetic_training_data()
+        model = nmr_conv_topology().build((1700,), seed=0)
+        model.compile(nn.Adam(0.001), "mse")
+        model.fit(
+            x_train, y_train, epochs=scale(25, 60), batch_size=64,
+            validation_data=(x_val, y_val),
+            callbacks=[nn.EarlyStopping(patience=6, restore_best_weights=True)],
+            seed=0,
+        )
+        _CACHE["conv"] = model
+    return _CACHE["conv"]

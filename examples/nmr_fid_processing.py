@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Time-domain NMR: from FID to spectrum (the paper's Fig. 2 chain).
+
+"The resulting change in overall magnetization can be detected with a radio
+frequency coil as a decaying receiver signal and digitally recorded.  The
+NMR spectrum is produced by Fourier transformation."
+
+This example records a virtual FID of a reaction mixture, processes it
+(apodization, zero-filling, FFT) and quantifies the result with classical
+region integration — then shows the effect of line broadening on the
+signal-to-noise / resolution trade.
+
+Run:  python examples/nmr_fid_processing.py
+"""
+
+import numpy as np
+
+from repro.nmr import IntegralQuantification, mndpa_reaction_models
+from repro.nmr.fid import AcquisitionParameters, FIDSynthesizer, fid_to_spectrum
+
+MIXTURE = {"p-toluidine": 0.22, "Li-toluidide": 0.12, "o-FNB": 0.30, "MNDPA": 0.10}
+
+
+def main():
+    rng = np.random.default_rng(0)
+    models = mndpa_reaction_models()
+
+    params = AcquisitionParameters(
+        spectrometer_mhz=43.0, n_points=8192, acquisition_time_s=2.0,
+        carrier_ppm=4.75, zero_fill_factor=2,
+    )
+    print(f"acquisition: {params.n_points} complex points, "
+          f"{params.acquisition_time_s} s, spectral width "
+          f"{params.spectral_width_ppm:.1f} ppm at {params.spectrometer_mhz} MHz")
+
+    synthesizer = FIDSynthesizer(models, params)
+    fid = synthesizer.synthesize(MIXTURE, rng=rng, noise_sigma=0.05)
+    print(f"FID recorded: |s(0)| = {abs(fid[0]):.2f}, "
+          f"|s(T)| = {abs(fid[-1]):.4f} (decayed)")
+
+    spectrum = fid_to_spectrum(fid, params)
+    ppm = params.ppm_axis()
+    print(f"\nspectrum: {spectrum.size} points; strongest signal at "
+          f"{ppm[np.argmax(spectrum)]:.2f} ppm "
+          f"(HMDS trimethylsilyl region expected near 0.1)")
+
+    # Quantify by classical integration on the ppm grid of the hard models.
+    from repro.nmr.hard_model import ChemicalShiftAxis
+
+    axis = models.axis
+    resampled = np.interp(axis.values(), ppm, spectrum) * params.spectrometer_mhz
+    quantifier = IntegralQuantification(models)
+    estimate = quantifier.analyze(resampled)
+    print("\nintegration-based quantification (mol/L):")
+    for name, true_value in MIXTURE.items():
+        print(f"  {name:14s} estimated {estimate[name]:.3f}   true {true_value:.3f}")
+
+    # Matched-filter trade: line broadening suppresses noise but merges
+    # close lines.
+    print("\nexponential line broadening (SNR vs resolution):")
+    for lb in (0.0, 1.0, 5.0):
+        processed = fid_to_spectrum(
+            fid,
+            AcquisitionParameters(
+                spectrometer_mhz=43.0, n_points=8192, acquisition_time_s=2.0,
+                carrier_ppm=4.75, zero_fill_factor=2, line_broadening_hz=lb,
+            ),
+        )
+        quiet = (ppm > 4.2) & (ppm < 5.4)
+        noise = processed[quiet].std()
+        print(f"  LB {lb:3.0f} Hz: peak {processed.max():8.3f}  "
+              f"noise {noise:.4f}  SNR {processed.max() / noise:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

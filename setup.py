@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; ``pip install -e . --no-use-pep517 --no-build-isolation``
+uses this file instead.
+"""
+
+from setuptools import setup
+
+setup()

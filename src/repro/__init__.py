@@ -1,0 +1,20 @@
+"""Reproduction of "AI for Mass Spectrometry and NMR Spectroscopy Using a
+Novel Data Augmentation Method" (Fricke et al., DATE/TETC 2021).
+
+Subpackages:
+
+* :mod:`repro.nn` — NumPy deep-learning framework (TensorFlow substitute);
+* :mod:`repro.ms` — mass-spectrometry toolchain substrate (Tools 1-3 +
+  virtual MMS prototype);
+* :mod:`repro.nmr` — NMR substrate (IHM hard models, virtual reactor and
+  spectrometers, IHM fitting baseline);
+* :mod:`repro.core` — the paper's flow: toolchain orchestration,
+  topologies, training service, augmentation, evaluation;
+* :mod:`repro.db` — embedded document store + provenance (MongoDB
+  substitute);
+* :mod:`repro.embedded` — Jetson platform cost model (Table 2).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,224 @@
+"""Command-line tools for the toolchain.
+
+The paper packages its flow as tools an operator runs without touching
+source code; this module is that surface:
+
+* ``ms-generate``  — Tools 1+3: generate a labelled simulated MS dataset;
+* ``train``        — Tool 4: train a topology on a dataset file;
+* ``evaluate``     — Tool 4 backend: score a trained model on a dataset;
+* ``table2``       — predict embedded execution costs for a trained model;
+* ``nmr-campaign`` — run the virtual NMR DoE campaign and save its spectra.
+
+Datasets are ``.npz`` files with arrays ``x``, ``y`` and a JSON-encoded
+``meta`` record.  Run ``python -m repro.cli <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _save_dataset(path: str, x: np.ndarray, y: np.ndarray, meta: dict) -> None:
+    meta_blob = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, x=x, y=y, meta=meta_blob)
+
+
+def _load_dataset(path: str):
+    with np.load(path) as data:
+        x, y = data["x"], data["y"]
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+    return x, y, meta
+
+
+def _cmd_ms_generate(args: argparse.Namespace) -> int:
+    from repro.ms import (
+        InstrumentCharacteristics,
+        MassSpectrometerSimulator,
+        MzAxis,
+        default_library,
+    )
+
+    compounds = [c.strip() for c in args.compounds.split(",") if c.strip()]
+    axis = MzAxis(args.mz_start, args.mz_stop, args.mz_step)
+    simulator = MassSpectrometerSimulator(
+        InstrumentCharacteristics(), axis, default_library()
+    )
+    rng = np.random.default_rng(args.seed)
+    x, y = simulator.generate_dataset(compounds, args.n, rng)
+    meta = {
+        "kind": "ms_simulated",
+        "compounds": compounds,
+        "axis": [axis.start, axis.stop, axis.step],
+        "seed": args.seed,
+    }
+    _save_dataset(args.out, x, y, meta)
+    print(f"wrote {args.n} spectra x {axis.size} points to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro import nn
+    from repro.core import (
+        mlp_topology,
+        nmr_conv_topology,
+        table1_topology,
+    )
+
+    x, y, meta = _load_dataset(args.data)
+    n_outputs = y.shape[1]
+    if args.topology == "table1":
+        topology = table1_topology(n_outputs)
+    elif args.topology == "nmr_conv":
+        topology = nmr_conv_topology(n_outputs)
+    elif args.topology == "mlp":
+        topology = mlp_topology(n_outputs)
+    else:
+        raise SystemExit(f"unknown topology {args.topology!r}")
+
+    model = topology.build(x.shape[1:], seed=args.seed)
+    model.compile(nn.Adam(args.learning_rate), args.loss)
+    split = int(0.8 * x.shape[0])
+    history = model.fit(
+        x[:split], y[:split],
+        epochs=args.epochs, batch_size=args.batch_size,
+        validation_data=(x[split:], y[split:]),
+        seed=args.seed, verbose=args.verbose,
+    )
+    val = history["val_loss"][-1]
+    path = nn.save_model(model, args.out)
+    print(f"trained {topology.name}: final val_{args.loss} {val:.6f}; "
+          f"saved to {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro import nn
+
+    model = nn.load_model(args.model)
+    x, y, meta = _load_dataset(args.data)
+    predictions = model.predict(x)
+    mae = nn.mean_absolute_error(predictions, y)
+    mse = nn.mean_squared_error(predictions, y)
+    r2 = nn.r2_score(predictions, y)
+    names = meta.get("compounds") or meta.get("components") or [
+        f"output{i}" for i in range(y.shape[1])
+    ]
+    print(f"samples: {x.shape[0]}  MAE: {mae:.6f}  MSE: {mse:.6e}  R2: {r2:.4f}")
+    for j, name in enumerate(names):
+        per = float(np.mean(np.abs(predictions[:, j] - y[:, j])))
+        print(f"  {name:14s} MAE {per:.6f}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro import nn
+    from repro.embedded import TABLE2_PLATFORMS
+    from repro.embedded.cost_model import InferenceCostModel
+
+    model = nn.load_model(args.model)
+    print(f"{'platform':22s}{'time/s':>10}{'power/W':>10}{'energy/J':>10}")
+    for key, spec in TABLE2_PLATFORMS.items():
+        estimate = InferenceCostModel(spec).estimate(
+            model, args.samples, args.batch_size
+        )
+        print(f"{spec.name:22s}{estimate.execution_time_s:10.2f}"
+              f"{estimate.power_w:10.2f}{estimate.energy_j:10.2f}")
+    return 0
+
+
+def _cmd_nmr_campaign(args: argparse.Namespace) -> int:
+    from repro.nmr import (
+        DoEPlan,
+        FlowReactorExperiment,
+        ReactionKinetics,
+        VirtualNMRSpectrometer,
+        mndpa_reaction_models,
+    )
+
+    models = mndpa_reaction_models()
+    experiment = FlowReactorExperiment(
+        ReactionKinetics(),
+        VirtualNMRSpectrometer.benchtop(models, seed=args.seed),
+        seed=args.seed,
+    )
+    dataset = experiment.run(
+        DoEPlan.full_factorial(), args.spectra_per_plateau
+    )
+    meta = {
+        "kind": "nmr_campaign",
+        "components": list(dataset.component_names),
+        "plateaus": int(dataset.plateau_ids.max()) + 1,
+        "seed": args.seed,
+    }
+    _save_dataset(args.out, dataset.spectra, dataset.reference_labels, meta)
+    print(f"wrote {len(dataset)} spectra "
+          f"({meta['plateaus']} plateaus) to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MS/NMR AI toolchain commands"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("ms-generate", help="generate simulated MS spectra")
+    gen.add_argument("--compounds", default="N2,O2,Ar,CO2")
+    gen.add_argument("--n", type=int, default=1000)
+    gen.add_argument("--mz-start", type=float, default=1.0)
+    gen.add_argument("--mz-stop", type=float, default=50.0)
+    gen.add_argument("--mz-step", type=float, default=0.1)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_ms_generate)
+
+    train = sub.add_parser("train", help="train a topology on a dataset")
+    train.add_argument("--data", required=True)
+    train.add_argument("--topology", default="table1",
+                       choices=["table1", "nmr_conv", "mlp"])
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--learning-rate", type=float, default=0.003)
+    train.add_argument("--loss", default="mae", choices=["mae", "mse"])
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--verbose", action="store_true")
+    train.add_argument("--out", required=True)
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="score a model on a dataset")
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--data", required=True)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    table2 = sub.add_parser("table2", help="embedded cost prediction")
+    table2.add_argument("--model", required=True)
+    table2.add_argument("--samples", type=int, default=21_600)
+    table2.add_argument("--batch-size", type=int, default=128)
+    table2.set_defaults(func=_cmd_table2)
+
+    campaign = sub.add_parser("nmr-campaign", help="run the virtual NMR DoE")
+    campaign.add_argument("--spectra-per-plateau", type=int, default=11)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--out", required=True)
+    campaign.set_defaults(func=_cmd_nmr_campaign)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Time-series augmentation for the LSTM model.
+
+"As our time dependent experimental data consists of a time series of
+several steady state plateaus with different concentrations, we repeated
+random training spectra one to twenty times to emulate plateaus with jumps
+between them."  :func:`plateau_time_series` performs that augmentation;
+:func:`sliding_windows` then slices the resulting sequence into the
+fixed-length windows the LSTM consumes (the paper uses five timesteps).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["plateau_time_series", "sliding_windows"]
+
+
+def plateau_time_series(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_timesteps: int,
+    rng: np.random.Generator,
+    min_repeats: int = 1,
+    max_repeats: int = 20,
+    renoise: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Emulate a plateau-structured time series from i.i.d. spectra.
+
+    Random source samples are repeated a random number of times (a
+    plateau), back to back, until at least ``n_timesteps`` steps exist.
+    ``renoise``, if given, is applied to every repeated frame so the
+    repeats differ by measurement noise rather than being bit-identical
+    (pass e.g. a simulator re-render; default is exact repetition, matching
+    the paper's description).
+
+    Returns ``(x_seq, y_seq)`` of shapes ``(T, length)`` / ``(T, outputs)``.
+    """
+    if n_timesteps <= 0:
+        raise ValueError("n_timesteps must be positive")
+    if not 1 <= min_repeats <= max_repeats:
+        raise ValueError(
+            f"need 1 <= min_repeats <= max_repeats, got {min_repeats}, {max_repeats}"
+        )
+    if x.shape[0] == 0:
+        raise ValueError("cannot build a time series from an empty dataset")
+    frames = []
+    labels = []
+    while len(frames) < n_timesteps:
+        source = int(rng.integers(0, x.shape[0]))
+        repeats = int(rng.integers(min_repeats, max_repeats + 1))
+        for _ in range(repeats):
+            frame = x[source]
+            if renoise is not None:
+                frame = renoise(frame, rng)
+            frames.append(frame)
+            labels.append(y[source])
+    x_seq = np.stack(frames[:n_timesteps])
+    y_seq = np.stack(labels[:n_timesteps])
+    return x_seq, y_seq
+
+
+def sliding_windows(
+    x_seq: np.ndarray, y_seq: np.ndarray, window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice a time series into overlapping windows for the LSTM.
+
+    Returns ``(x_windows, y_last)`` with shapes ``(n, window, length)`` and
+    ``(n, outputs)``; each window is labelled with the concentration at its
+    *last* timestep (the LSTM predicts the current composition from the
+    recent past).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    timesteps = x_seq.shape[0]
+    if timesteps < window:
+        raise ValueError(
+            f"time series of {timesteps} steps is shorter than window {window}"
+        )
+    if y_seq.shape[0] != timesteps:
+        raise ValueError("x_seq and y_seq lengths differ")
+    n = timesteps - window + 1
+    # Gather via stride-free fancy indexing to keep the result writable.
+    idx = np.arange(window)[None, :] + np.arange(n)[:, None]
+    return x_seq[idx], y_seq[window - 1 :]

@@ -1,0 +1,146 @@
+"""Lifecycle monitoring and automatic re-adaptation.
+
+The paper's conclusion names the open problem this module addresses: "it
+has to be investigated how these systems can be automatically and reliably
+adapted to perturbations or changes in parameters within the life cycle of
+a production."
+
+:class:`DriftMonitor` watches the stream of incoming spectra through the
+plausibility checker's unexplained-residual statistic: against a baseline
+established on simulated training data, an exponentially weighted moving
+average of the residual fraction rising above an alarm factor signals that
+the instrument has drifted away from the state the simulator (and hence
+the network) was built for.  :func:`recalibrate` then re-runs the
+characterize-simulate-train loop to produce a fresh network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.pipeline import MSToolchain, ToolchainResult
+from repro.ms.mixtures import MassFlowControllerRig
+from repro.ms.plausibility import PlausibilityChecker
+from repro.ms.simulator import MassSpectrometerSimulator
+from repro.ms.spectrum import MassSpectrum
+
+__all__ = ["DriftStatus", "DriftMonitor", "recalibrate"]
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """State of the monitor after one observation."""
+
+    drifted: bool
+    ewma_residual: float
+    baseline_residual: float
+    observations: int
+
+    @property
+    def severity(self) -> float:
+        """EWMA residual relative to baseline (1.0 = nominal)."""
+        if self.baseline_residual <= 0:
+            return float("inf") if self.ewma_residual > 0 else 1.0
+        return self.ewma_residual / self.baseline_residual
+
+
+class DriftMonitor:
+    """EWMA drift detector over plausibility residuals."""
+
+    def __init__(
+        self,
+        simulator: MassSpectrometerSimulator,
+        task_compounds: Sequence[str],
+        alarm_factor: float = 2.5,
+        smoothing: float = 0.1,
+        warmup: int = 5,
+        baseline_samples: int = 200,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """``alarm_factor`` is how far above the simulated baseline the
+        smoothed residual must rise before drift is declared; ``warmup``
+        observations are collected before any alarm can fire."""
+        if alarm_factor <= 1.0:
+            raise ValueError("alarm_factor must exceed 1.0")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.checker = PlausibilityChecker(simulator, task_compounds)
+        self.alarm_factor = float(alarm_factor)
+        self.smoothing = float(smoothing)
+        self.warmup = int(warmup)
+        self._ewma: Optional[float] = None
+        self._count = 0
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.baseline_residual = self._establish_baseline(
+            simulator, task_compounds, baseline_samples, rng
+        )
+
+    def _establish_baseline(
+        self, simulator, task_compounds, n: int, rng: np.random.Generator
+    ) -> float:
+        """Median residual fraction over freshly simulated in-task spectra."""
+        spectra, _ = simulator.generate_dataset(task_compounds, n, rng)
+        residuals = [
+            self.checker.check(row).residual_fraction for row in spectra
+        ]
+        return float(np.median(residuals))
+
+    def observe(self, spectrum: Union[MassSpectrum, np.ndarray]) -> DriftStatus:
+        """Feed one production spectrum; returns the updated drift status."""
+        report = self.checker.check(spectrum)
+        value = report.residual_fraction
+        if self._ewma is None:
+            self._ewma = value
+        else:
+            self._ewma = (
+                self.smoothing * value + (1.0 - self.smoothing) * self._ewma
+            )
+        self._count += 1
+        drifted = (
+            self._count >= self.warmup
+            and self._ewma > self.alarm_factor * max(self.baseline_residual, 1e-6)
+        )
+        return DriftStatus(
+            drifted=drifted,
+            ewma_residual=float(self._ewma),
+            baseline_residual=self.baseline_residual,
+            observations=self._count,
+        )
+
+    def reset(self) -> None:
+        """Clear the observation state (e.g. after recalibration)."""
+        self._ewma = None
+        self._count = 0
+
+
+def recalibrate(
+    chain: MSToolchain,
+    rig: MassFlowControllerRig,
+    evaluation_measurements,
+    samples_per_mixture: int = 25,
+    n_training_spectra: int = 10_000,
+    epochs: int = 15,
+    seed: int = 0,
+    topology=None,
+) -> ToolchainResult:
+    """Re-run the characterize-simulate-train loop after a drift alarm.
+
+    This is deliberately just the standard toolchain run — the paper's
+    point is that the *same* automated flow that commissioned the system
+    also re-adapts it, with fresh reference measurements reflecting the
+    instrument's current state.
+    """
+    return chain.run(
+        rig,
+        evaluation_measurements,
+        samples_per_mixture=samples_per_mixture,
+        n_training_spectra=n_training_spectra,
+        topology=topology,
+        epochs=epochs,
+        seed=seed,
+    )

@@ -1,0 +1,214 @@
+"""Explorative topology development (the paper's §III.A.2 procedure).
+
+"Based on this target, the topology of the network was developed by
+starting with only one convolutional layer and one MLP layer for the
+output.  Based on this we exploratively added more convolutional layers
+and adjusted the parameters of these layers until a satisfactory result
+could be achieved."
+
+:class:`ExplorativeSearch` automates that loop: starting from the minimal
+one-conv topology, each round proposes mutations (add a conv layer, widen
+filters, change kernel/stride), trains every candidate through the
+:class:`~repro.core.training_service.TrainingService`, keeps the best, and
+stops when the target MAE is met or no mutation improves the incumbent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.datasets import SpectraDataset
+from repro.core.topologies import TopologySpec
+from repro.core.training_service import TrainingConfig, TrainingService
+
+__all__ = ["ConvBlock", "SearchResult", "ExplorativeSearch"]
+
+
+@dataclass(frozen=True)
+class ConvBlock:
+    """One convolutional stage of a candidate topology."""
+
+    filters: int
+    kernel_size: int
+    strides: int
+
+    def __post_init__(self):
+        if self.filters <= 0 or self.kernel_size <= 0 or self.strides <= 0:
+            raise ValueError(f"invalid conv block {self!r}")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an explorative search."""
+
+    best_spec: TopologySpec
+    best_blocks: Tuple[ConvBlock, ...]
+    best_metric: float
+    rounds: int
+    target_reached: bool
+    history: List[Dict] = field(default_factory=list)
+
+
+def _spec_from_blocks(
+    blocks: Sequence[ConvBlock],
+    n_outputs: int,
+    hidden_activation: str,
+    output_activation: str,
+) -> TopologySpec:
+    name = "cnn_" + "_".join(
+        f"f{b.filters}k{b.kernel_size}s{b.strides}" for b in blocks
+    )
+    spec = TopologySpec(name, description="explorative-search candidate")
+    spec.add("Reshape", target_shape=[-1, 1])
+    for block in blocks:
+        spec.add(
+            "Conv1D",
+            filters=block.filters,
+            kernel_size=block.kernel_size,
+            strides=block.strides,
+            activation=hidden_activation,
+        )
+    spec.add("Flatten")
+    spec.add("Dense", units=n_outputs, activation=output_activation)
+    return spec
+
+
+def _output_length(input_length: int, blocks: Sequence[ConvBlock]) -> int:
+    """Conv-stack output length; <= 0 means the stack does not fit."""
+    length = input_length
+    for block in blocks:
+        length = (length - block.kernel_size) // block.strides + 1
+        if length <= 0:
+            return 0
+    return length
+
+
+class ExplorativeSearch:
+    """Greedy mutate-train-select search over conv-stack topologies."""
+
+    def __init__(
+        self,
+        n_outputs: int,
+        input_length: int,
+        target_mae: float = 0.005,
+        hidden_activation: str = "selu",
+        output_activation: str = "softmax",
+        config: TrainingConfig = TrainingConfig(epochs=8),
+        max_rounds: int = 4,
+        candidates_per_round: int = 4,
+        seed: int = 0,
+    ):
+        if target_mae <= 0:
+            raise ValueError("target_mae must be positive")
+        if max_rounds < 1 or candidates_per_round < 1:
+            raise ValueError("max_rounds and candidates_per_round must be >= 1")
+        self.n_outputs = int(n_outputs)
+        self.input_length = int(input_length)
+        self.target_mae = float(target_mae)
+        self.hidden_activation = hidden_activation
+        self.output_activation = output_activation
+        self.config = config
+        self.max_rounds = int(max_rounds)
+        self.candidates_per_round = int(candidates_per_round)
+        self._rng = np.random.default_rng(seed)
+
+    # -- mutation proposals ---------------------------------------------------
+
+    def _mutations(self, blocks: Tuple[ConvBlock, ...]) -> List[Tuple[ConvBlock, ...]]:
+        """All structural mutations of the incumbent that fit the input."""
+        proposals: List[Tuple[ConvBlock, ...]] = []
+        last = blocks[-1]
+        # Deepen: append a conv layer (the paper's primary move).
+        proposals.append(
+            blocks + (ConvBlock(last.filters, max(last.kernel_size - 5, 3),
+                                min(last.strides + 1, 4)),)
+        )
+        # Widen / narrow the last stage.
+        proposals.append(blocks[:-1] + (ConvBlock(last.filters * 2, last.kernel_size, last.strides),))
+        if last.filters >= 8:
+            proposals.append(blocks[:-1] + (ConvBlock(last.filters // 2, last.kernel_size, last.strides),))
+        # Adjust kernel and stride of the first stage.
+        first = blocks[0]
+        proposals.append((ConvBlock(first.filters, first.kernel_size + 5, first.strides),) + blocks[1:])
+        proposals.append((ConvBlock(first.filters, first.kernel_size, first.strides + 1),) + blocks[1:])
+        # Keep only candidates whose stack fits the input length.
+        valid = [p for p in proposals if _output_length(self.input_length, p) > 0]
+        # De-duplicate while preserving order.
+        seen = set()
+        unique = []
+        for proposal in valid:
+            if proposal not in seen:
+                seen.add(proposal)
+                unique.append(proposal)
+        order = self._rng.permutation(len(unique))
+        return [unique[i] for i in order[: self.candidates_per_round]]
+
+    # -- the search loop ---------------------------------------------------------
+
+    def run(
+        self,
+        dataset: SpectraDataset,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> SearchResult:
+        """Search until ``target_mae`` is met or mutations stop helping."""
+        if dataset.input_shape != (self.input_length,):
+            raise ValueError(
+                f"dataset input shape {dataset.input_shape} != "
+                f"({self.input_length},)"
+            )
+        incumbent_blocks: Tuple[ConvBlock, ...] = (ConvBlock(16, 20, 2),)
+        incumbent_metric = np.inf
+        incumbent_spec: Optional[TopologySpec] = None
+        history: List[Dict] = []
+
+        for round_index in range(self.max_rounds):
+            if round_index == 0:
+                candidates = [incumbent_blocks]
+            else:
+                candidates = self._mutations(incumbent_blocks)
+            specs = [
+                _spec_from_blocks(
+                    blocks, self.n_outputs,
+                    self.hidden_activation, self.output_activation,
+                )
+                for blocks in candidates
+            ]
+            service = TrainingService(self.config)
+            service.train_all(specs, dataset, progress=progress)
+            improved = False
+            for blocks, run in zip(candidates, service.runs):
+                metric = run.metrics["val_mae"]
+                history.append(
+                    {"round": round_index, "topology": run.topology_name,
+                     "val_mae": metric}
+                )
+                if metric < incumbent_metric:
+                    incumbent_metric = metric
+                    incumbent_blocks = blocks
+                    incumbent_spec = _spec_from_blocks(
+                        blocks, self.n_outputs,
+                        self.hidden_activation, self.output_activation,
+                    )
+                    improved = True
+            if incumbent_metric <= self.target_mae:
+                return SearchResult(
+                    best_spec=incumbent_spec,
+                    best_blocks=incumbent_blocks,
+                    best_metric=incumbent_metric,
+                    rounds=round_index + 1,
+                    target_reached=True,
+                    history=history,
+                )
+            if round_index > 0 and not improved:
+                break
+        return SearchResult(
+            best_spec=incumbent_spec,
+            best_blocks=incumbent_blocks,
+            best_metric=incumbent_metric,
+            rounds=min(round_index + 1, self.max_rounds),
+            target_reached=incumbent_metric <= self.target_mae,
+            history=history,
+        )

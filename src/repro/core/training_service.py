@@ -1,0 +1,170 @@
+"""Unattended multi-topology training (Tool 4's front- and backend).
+
+"The tools that assist in the definition phase allow the definition of one
+or more network topologies and the training- and validation datasets to use
+without modifying the source code.  The whole training process can then run
+without user interaction.  Backend tools help with the evaluation of the
+trained networks ..., the selection of the best-performing networks, based
+on selectable quality criteria and the export of analysis data to
+spreadsheet applications."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.datasets import SpectraDataset
+from repro.core.topologies import TopologySpec
+from repro.db.provenance import ProvenanceTracker
+from repro.nn.metrics import mean_absolute_error, mean_squared_error, r2_score
+from repro.nn.model import Sequential
+from repro.nn.training import EarlyStopping
+
+__all__ = ["TrainingConfig", "TrainingRun", "TrainingService"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters shared by every run of a service invocation."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    optimizer: str = "adam"
+    loss: str = "mae"
+    train_fraction: float = 0.8
+    patience: Optional[int] = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+
+
+@dataclass
+class TrainingRun:
+    """Result of training one topology."""
+
+    topology_name: str
+    model: Sequential
+    metrics: Dict[str, float]
+    epochs_run: int
+    artifact_id: Optional[int] = None
+
+
+class TrainingService:
+    """Trains a list of topologies on one dataset, records, ranks, exports."""
+
+    def __init__(
+        self,
+        config: TrainingConfig = TrainingConfig(),
+        provenance: Optional[ProvenanceTracker] = None,
+    ):
+        self.config = config
+        self.provenance = provenance
+        self.runs: List[TrainingRun] = []
+
+    def train_all(
+        self,
+        topologies: Sequence[TopologySpec],
+        dataset: SpectraDataset,
+        evaluation_data: Optional[SpectraDataset] = None,
+        dataset_artifact: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> List[TrainingRun]:
+        """Train every topology without user interaction.
+
+        ``evaluation_data``, if given, is scored as ``measured_*`` metrics
+        (the paper's evaluation on real measurement series).
+        """
+        if not topologies:
+            raise ValueError("topologies must be non-empty")
+        names = [t.name for t in topologies]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate topology names: {names}")
+        config = self.config
+        train, validation = dataset.split(
+            config.train_fraction, np.random.default_rng(config.seed)
+        )
+        for topology in topologies:
+            if progress is not None:
+                progress(f"training {topology.name}")
+            model = topology.build(dataset.input_shape, seed=config.seed)
+            model.compile(config.optimizer, config.loss)
+            callbacks = []
+            if config.patience is not None:
+                callbacks.append(
+                    EarlyStopping(
+                        patience=config.patience, restore_best_weights=True
+                    )
+                )
+            history = model.fit(
+                train.x,
+                train.y,
+                epochs=config.epochs,
+                batch_size=config.batch_size,
+                validation_data=(validation.x, validation.y),
+                callbacks=callbacks,
+                seed=config.seed,
+            )
+            predictions = model.predict(validation.x)
+            metrics = {
+                "val_mae": mean_absolute_error(predictions, validation.y),
+                "val_mse": mean_squared_error(predictions, validation.y),
+                "val_r2": r2_score(predictions, validation.y),
+            }
+            if evaluation_data is not None:
+                measured = model.predict(evaluation_data.x)
+                metrics["measured_mae"] = mean_absolute_error(
+                    measured, evaluation_data.y
+                )
+                metrics["measured_mse"] = mean_squared_error(
+                    measured, evaluation_data.y
+                )
+            artifact_id = None
+            if self.provenance is not None:
+                parents = [dataset_artifact] if dataset_artifact is not None else []
+                artifact_id = self.provenance.record(
+                    "network",
+                    {"topology": topology.name, **metrics},
+                    parents=parents,
+                )
+            self.runs.append(
+                TrainingRun(
+                    topology_name=topology.name,
+                    model=model,
+                    metrics=metrics,
+                    epochs_run=len(history.epochs),
+                    artifact_id=artifact_id,
+                )
+            )
+        return self.runs
+
+    def select_best(self, criterion: str = "val_mae", mode: str = "min") -> TrainingRun:
+        """Best run by a selectable quality criterion."""
+        if not self.runs:
+            raise RuntimeError("no runs recorded; call train_all first")
+        scored = [run for run in self.runs if criterion in run.metrics]
+        if not scored:
+            raise KeyError(f"no run has metric {criterion!r}")
+        chooser = min if mode == "min" else max
+        return chooser(scored, key=lambda run: run.metrics[criterion])
+
+    def export_results(self) -> List[Dict[str, object]]:
+        """Spreadsheet-ready rows (one per trained network)."""
+        rows = []
+        for run in self.runs:
+            row: Dict[str, object] = {
+                "topology": run.topology_name,
+                "parameters": run.model.count_params(),
+                "epochs_run": run.epochs_run,
+            }
+            row.update(run.metrics)
+            rows.append(row)
+        return rows

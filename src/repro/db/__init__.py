@@ -1,0 +1,15 @@
+"""Embedded document store + provenance tracking (MongoDB substitute).
+
+The paper stores every artifact of the toolchain — measured samples,
+simulated samples, trained networks — in a MongoDB instance, "to
+comprehend which measurements have been used to train the simulators and
+which data has been used to train a specific network".  This package
+provides a dependency-free equivalent: a JSON document store with
+Mongo-style queries (:mod:`repro.db.document_store`) and a provenance graph
+over stored artifacts (:mod:`repro.db.provenance`).
+"""
+
+from repro.db.document_store import Collection, DocumentStore
+from repro.db.provenance import ProvenanceTracker
+
+__all__ = ["Collection", "DocumentStore", "ProvenanceTracker"]

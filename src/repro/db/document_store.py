@@ -1,0 +1,218 @@
+"""A small embedded document store with Mongo-style queries.
+
+Documents are JSON-serializable dicts.  Each insert assigns a unique
+``_id``.  Queries support dotted paths and the operators ``$eq``, ``$ne``,
+``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$in`` and ``$exists``; a bare value
+means ``$eq``.  The store is in-memory with optional JSON-file persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+__all__ = ["Collection", "DocumentStore"]
+
+_OPERATORS = {"$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$exists"}
+_MISSING = object()
+
+
+def _resolve_path(document: Mapping, path: str):
+    """Follow a dotted path; returns _MISSING if any hop is absent."""
+    value: Any = document
+    for part in path.split("."):
+        if isinstance(value, Mapping) and part in value:
+            value = value[part]
+        else:
+            return _MISSING
+    return value
+
+
+def _match_condition(value, condition) -> bool:
+    if isinstance(condition, Mapping) and any(k in _OPERATORS for k in condition):
+        for op, operand in condition.items():
+            if op == "$exists":
+                if bool(operand) != (value is not _MISSING):
+                    return False
+                continue
+            if value is _MISSING:
+                return False
+            if op == "$eq" and not value == operand:
+                return False
+            if op == "$ne" and not value != operand:
+                return False
+            if op == "$in" and value not in operand:
+                return False
+            try:
+                if op == "$gt" and not value > operand:
+                    return False
+                if op == "$gte" and not value >= operand:
+                    return False
+                if op == "$lt" and not value < operand:
+                    return False
+                if op == "$lte" and not value <= operand:
+                    return False
+            except TypeError:
+                return False
+        return True
+    return value is not _MISSING and value == condition
+
+
+def _matches(document: Mapping, query: Mapping) -> bool:
+    return all(
+        _match_condition(_resolve_path(document, path), condition)
+        for path, condition in query.items()
+    )
+
+
+class Collection:
+    """A named set of documents."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: Dict[int, Dict] = {}
+        self._next_id = 1
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert(self, document: Mapping) -> int:
+        """Insert a copy of ``document``; returns the assigned ``_id``."""
+        if not isinstance(document, Mapping):
+            raise TypeError(f"documents must be mappings, got {type(document).__name__}")
+        doc = dict(document)
+        if "_id" in doc:
+            raise ValueError("documents must not carry a pre-set _id")
+        doc_id = self._next_id
+        self._next_id += 1
+        doc["_id"] = doc_id
+        self._documents[doc_id] = doc
+        return doc_id
+
+    def insert_many(self, documents) -> List[int]:
+        return [self.insert(doc) for doc in documents]
+
+    def update_one(self, query: Mapping, changes: Mapping) -> bool:
+        """Merge ``changes`` into the first matching document."""
+        doc = self.find_one(query)
+        if doc is None:
+            return False
+        stored = self._documents[doc["_id"]]
+        for key, value in changes.items():
+            if key == "_id":
+                raise ValueError("_id cannot be updated")
+            stored[key] = value
+        return True
+
+    def delete(self, query: Mapping) -> int:
+        """Delete all matching documents; returns the count removed."""
+        ids = [doc["_id"] for doc in self.find(query)]
+        for doc_id in ids:
+            del self._documents[doc_id]
+        return len(ids)
+
+    # -- reads -----------------------------------------------------------------
+
+    def get(self, doc_id: int) -> Optional[Dict]:
+        doc = self._documents.get(doc_id)
+        return dict(doc) if doc is not None else None
+
+    def find(self, query: Optional[Mapping] = None) -> List[Dict]:
+        query = query or {}
+        return [dict(d) for d in self._documents.values() if _matches(d, query)]
+
+    def find_one(self, query: Optional[Mapping] = None) -> Optional[Dict]:
+        query = query or {}
+        for doc in self._documents.values():
+            if _matches(doc, query):
+                return dict(doc)
+        return None
+
+    def count(self, query: Optional[Mapping] = None) -> int:
+        if not query:
+            return len(self._documents)
+        return sum(1 for d in self._documents.values() if _matches(d, query))
+
+    def distinct(self, path: str) -> List:
+        seen = []
+        for doc in self._documents.values():
+            value = _resolve_path(doc, path)
+            if value is not _MISSING and value not in seen:
+                seen.append(value)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self.find())
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "next_id": self._next_id,
+            "documents": list(self._documents.values()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Collection":
+        collection = cls(data["name"])
+        collection._next_id = data["next_id"]
+        for doc in data["documents"]:
+            collection._documents[doc["_id"]] = dict(doc)
+        return collection
+
+
+class DocumentStore:
+    """A set of named collections, optionally persisted to one JSON file."""
+
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
+        self.path = os.fspath(path) if path is not None else None
+        self._collections: Dict[str, Collection] = {}
+        if self.path and os.path.exists(self.path):
+            self.load()
+
+    def collection(self, name: str) -> Collection:
+        """Get (or lazily create) a collection."""
+        if not name:
+            raise ValueError("collection name must be non-empty")
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def drop(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    @property
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def save(self, path: Optional[Union[str, os.PathLike]] = None) -> str:
+        target = os.fspath(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and the store was created in-memory")
+        payload = {
+            name: collection.to_dict()
+            for name, collection in self._collections.items()
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        self.path = target
+        return target
+
+    def load(self, path: Optional[Union[str, os.PathLike]] = None) -> None:
+        source = os.fspath(path) if path is not None else self.path
+        if source is None:
+            raise ValueError("no path given and the store was created in-memory")
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if not text.strip():
+            # An empty file (e.g. a freshly created temp file) is a new store.
+            self._collections = {}
+            return
+        payload = json.loads(text)
+        self._collections = {
+            name: Collection.from_dict(data) for name, data in payload.items()
+        }

@@ -1,0 +1,105 @@
+"""Provenance tracking over stored artifacts.
+
+"In addition to the actual data, all objects stored in the database also
+store metadata that make it possible to trace the basis on which the
+respective data was generated."  Every artifact records its kind, a
+metadata payload and the ids of its parent artifacts; lineage queries walk
+the resulting DAG in either direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.db.document_store import DocumentStore
+
+__all__ = ["ProvenanceTracker"]
+
+_COLLECTION = "artifacts"
+
+
+class ProvenanceTracker:
+    """Records artifacts and their derivation graph in a DocumentStore."""
+
+    def __init__(self, store: Optional[DocumentStore] = None):
+        self.store = store if store is not None else DocumentStore()
+        self._artifacts = self.store.collection(_COLLECTION)
+
+    def record(
+        self,
+        kind: str,
+        metadata: Optional[dict] = None,
+        parents: Sequence[int] = (),
+    ) -> int:
+        """Store a new artifact; returns its id.
+
+        ``kind`` is a free-form label ("measurement_series", "simulator",
+        "dataset", "network", ...); ``parents`` are ids of the artifacts
+        this one was derived from and must already exist.
+        """
+        if not kind:
+            raise ValueError("kind must be non-empty")
+        parent_ids = [int(p) for p in parents]
+        for parent in parent_ids:
+            if self._artifacts.get(parent) is None:
+                raise KeyError(f"parent artifact {parent} does not exist")
+        return self._artifacts.insert(
+            {"kind": kind, "metadata": dict(metadata or {}), "parents": parent_ids}
+        )
+
+    def get(self, artifact_id: int) -> dict:
+        doc = self._artifacts.get(artifact_id)
+        if doc is None:
+            raise KeyError(f"artifact {artifact_id} does not exist")
+        return doc
+
+    def find(self, kind: Optional[str] = None, **metadata_query) -> List[dict]:
+        """Artifacts by kind and/or metadata equality filters."""
+        query: Dict[str, object] = {}
+        if kind is not None:
+            query["kind"] = kind
+        for key, value in metadata_query.items():
+            query[f"metadata.{key}"] = value
+        return self._artifacts.find(query)
+
+    # -- graph walks -------------------------------------------------------
+
+    def ancestors(self, artifact_id: int) -> List[int]:
+        """All transitive parents, deduplicated, nearest-first."""
+        seen: List[int] = []
+        frontier = list(self.get(artifact_id)["parents"])
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            frontier.extend(self.get(current)["parents"])
+        return seen
+
+    def descendants(self, artifact_id: int) -> List[int]:
+        """All artifacts that transitively derive from this one."""
+        self.get(artifact_id)  # existence check
+        children: Dict[int, List[int]] = {}
+        for doc in self._artifacts.find():
+            for parent in doc["parents"]:
+                children.setdefault(parent, []).append(doc["_id"])
+        seen: List[int] = []
+        frontier = list(children.get(artifact_id, []))
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            frontier.extend(children.get(current, []))
+        return seen
+
+    def lineage_report(self, artifact_id: int) -> str:
+        """Human-readable ancestry, e.g. for audit of a trained network."""
+        lines = [self._describe(artifact_id)]
+        for ancestor in self.ancestors(artifact_id):
+            lines.append("  <- " + self._describe(ancestor))
+        return "\n".join(lines)
+
+    def _describe(self, artifact_id: int) -> str:
+        doc = self.get(artifact_id)
+        return f"[{artifact_id}] {doc['kind']} {doc['metadata']}"

@@ -1,0 +1,57 @@
+"""Embedded-platform performance/energy model (Table 2 substitute).
+
+The paper measures inference of the trained MS network on NVIDIA Jetson
+Nano and Jetson TX2 boards, on both their CPUs and GPUs (Table 2).  Without
+the hardware, we substitute an analytical roofline-style cost model driven
+by the *actual* per-layer FLOP/byte counts of the built network
+(:mod:`repro.nn.flops`) and platform parameter sets calibrated from the
+boards' public specifications.  The model reproduces the shape of Table 2:
+GPUs ~5-7x faster and ~5-6x more energy-efficient than the CPUs at similar
+~5 W power, and performance scaling with CUDA-core count.
+"""
+
+from repro.embedded.platforms import (
+    JETSON_NANO_CPU,
+    JETSON_NANO_GPU,
+    JETSON_TX2_CPU,
+    JETSON_TX2_GPU,
+    PlatformSpec,
+    TABLE2_PLATFORMS,
+)
+from repro.embedded.cost_model import CostEstimate, InferenceCostModel
+from repro.embedded.deployment import DeployedModel, export_for_embedded
+from repro.embedded.quantization import (
+    QuantizationReport,
+    QuantizedModel,
+    quantize_weights,
+)
+from repro.embedded.overlays import (
+    FGPU_SOFT_GPU,
+    FGPU_SPECIALIZED,
+    OverlaySpec,
+    VCGRA_OVERLAY,
+    ZYNQ_ARM_A9,
+    estimate_overlay_speedup,
+)
+
+__all__ = [
+    "CostEstimate",
+    "DeployedModel",
+    "FGPU_SOFT_GPU",
+    "FGPU_SPECIALIZED",
+    "InferenceCostModel",
+    "OverlaySpec",
+    "QuantizationReport",
+    "QuantizedModel",
+    "VCGRA_OVERLAY",
+    "ZYNQ_ARM_A9",
+    "estimate_overlay_speedup",
+    "JETSON_NANO_CPU",
+    "JETSON_NANO_GPU",
+    "JETSON_TX2_CPU",
+    "JETSON_TX2_GPU",
+    "PlatformSpec",
+    "TABLE2_PLATFORMS",
+    "export_for_embedded",
+    "quantize_weights",
+]

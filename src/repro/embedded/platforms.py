@@ -1,0 +1,124 @@
+"""Platform parameter sets for the embedded cost model.
+
+Peak numbers come from the public board specifications:
+
+* **Jetson Nano** — quad Cortex-A57 @ 1.43 GHz (NEON, ~8 FP32 FLOP/cycle/
+  core -> ~46 GFLOPS peak) + 128-core Maxwell GPU @ 921 MHz (~236 GFLOPS
+  FP32); LPDDR4 25.6 GB/s shared.
+* **Jetson TX2** — quad A57 @ 2.0 GHz + dual Denver2 (~77 GFLOPS combined
+  CPU peak) + 256-core Pascal GPU @ 1.3 GHz (~665 GFLOPS FP32); LPDDR4
+  59.7 GB/s shared.
+
+``nn_efficiency`` is the achieved fraction of peak for small conv workloads
+(TensorFlow on these boards reaches 10-20 %); it is the one calibrated
+parameter per platform.  ``active_power_w`` values are the load powers the
+paper reports in Table 2 (4.8-6.7 W, similar between CPU and GPU because
+the SoC is shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "PlatformSpec",
+    "JETSON_NANO_CPU",
+    "JETSON_NANO_GPU",
+    "JETSON_TX2_CPU",
+    "JETSON_TX2_GPU",
+    "TABLE2_PLATFORMS",
+]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One execution target (a CPU or GPU of an embedded board)."""
+
+    name: str
+    kind: str  # "cpu" | "gpu"
+    peak_gflops: float
+    memory_bandwidth_gbs: float
+    nn_efficiency: float  # achieved fraction of peak on small conv nets
+    bandwidth_efficiency: float
+    active_power_w: float  # package power under this workload
+    idle_power_w: float
+    kernel_overhead_us: float  # per layer-invocation launch/dispatch cost
+    cuda_cores: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ("cpu", "gpu"):
+            raise ValueError(f"kind must be 'cpu' or 'gpu', got {self.kind!r}")
+        for label in ("peak_gflops", "memory_bandwidth_gbs", "active_power_w"):
+            if getattr(self, label) <= 0:
+                raise ValueError(f"{label} must be positive")
+        if not 0 < self.nn_efficiency <= 1:
+            raise ValueError("nn_efficiency must be in (0, 1]")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.peak_gflops * self.nn_efficiency
+
+    @property
+    def effective_bandwidth_gbs(self) -> float:
+        return self.memory_bandwidth_gbs * self.bandwidth_efficiency
+
+
+JETSON_NANO_CPU = PlatformSpec(
+    name="Jetson Nano (CPU)",
+    kind="cpu",
+    peak_gflops=45.8,
+    memory_bandwidth_gbs=25.6,
+    nn_efficiency=0.19,
+    bandwidth_efficiency=0.60,
+    active_power_w=5.03,
+    idle_power_w=1.25,
+    kernel_overhead_us=4.0,
+)
+
+JETSON_NANO_GPU = PlatformSpec(
+    name="Jetson Nano (GPU)",
+    kind="gpu",
+    peak_gflops=235.8,
+    memory_bandwidth_gbs=25.6,
+    nn_efficiency=0.175,
+    bandwidth_efficiency=0.70,
+    active_power_w=4.77,
+    idle_power_w=1.25,
+    kernel_overhead_us=45.0,
+    cuda_cores=128,
+)
+
+JETSON_TX2_CPU = PlatformSpec(
+    name="Jetson TX2 (CPU)",
+    kind="cpu",
+    peak_gflops=76.8,
+    memory_bandwidth_gbs=59.7,
+    nn_efficiency=0.16,
+    bandwidth_efficiency=0.60,
+    active_power_w=5.92,
+    idle_power_w=1.90,
+    kernel_overhead_us=3.0,
+)
+
+JETSON_TX2_GPU = PlatformSpec(
+    name="Jetson TX2 (GPU)",
+    kind="gpu",
+    peak_gflops=665.6,
+    memory_bandwidth_gbs=59.7,
+    nn_efficiency=0.13,
+    bandwidth_efficiency=0.70,
+    active_power_w=6.68,
+    idle_power_w=1.90,
+    kernel_overhead_us=40.0,
+    cuda_cores=256,
+)
+
+TABLE2_PLATFORMS: Dict[str, PlatformSpec] = {
+    "nano_cpu": JETSON_NANO_CPU,
+    "nano_gpu": JETSON_NANO_GPU,
+    "tx2_cpu": JETSON_TX2_CPU,
+    "tx2_gpu": JETSON_TX2_GPU,
+}

@@ -1,0 +1,58 @@
+"""Mass-spectrometry substrate: Tools 1-3 of the paper's MS toolchain.
+
+The paper's flow (its Figure 3):
+
+* **Tool 1** (:mod:`repro.ms.line_spectra`) — ideal line spectra of mixtures
+  by linear superposition of known per-compound fragmentation patterns
+  (:mod:`repro.ms.compounds`).
+* **Tool 2** (:mod:`repro.ms.characterization`) — automatic generation of an
+  instrument simulator from labelled reference measurements: peak shape,
+  m/z-dependent attenuation, baseline drift and noise model are estimated
+  from data.
+* **Tool 3** (:mod:`repro.ms.simulator`) — rendering of ideal line spectra
+  into continuous, noisy spectra matching the real device, used to mass-
+  produce labelled training data.
+
+The real miniaturized mass spectrometer (MMS) prototype is replaced by
+:class:`repro.ms.instrument.VirtualMassSpectrometer`, a ground-truth device
+model with non-idealities the simulator does not know about (configuration
+drift, air-humidity contamination, per-shot peak jitter), recreating the
+paper's simulated-vs-measured accuracy gap.
+"""
+
+from repro.ms.compounds import Compound, CompoundLibrary, default_library
+from repro.ms.spectrum import MassSpectrum, MzAxis
+from repro.ms.line_spectra import LineSpectrum, ideal_mixture_spectrum
+from repro.ms.instrument import (
+    InstrumentCharacteristics,
+    VirtualMassSpectrometer,
+)
+from repro.ms.characterization import (
+    CharacterizationResult,
+    characterize_instrument,
+)
+from repro.ms.simulator import MassSpectrometerSimulator
+from repro.ms.mixtures import MassFlowControllerRig, MixturePlan, sample_concentrations
+from repro.ms.plausibility import PlausibilityChecker, PlausibilityReport
+from repro.ms.resolution import resample_spectrum
+
+__all__ = [
+    "CharacterizationResult",
+    "Compound",
+    "CompoundLibrary",
+    "InstrumentCharacteristics",
+    "LineSpectrum",
+    "MassFlowControllerRig",
+    "MassSpectrometerSimulator",
+    "MassSpectrum",
+    "MixturePlan",
+    "MzAxis",
+    "PlausibilityChecker",
+    "PlausibilityReport",
+    "VirtualMassSpectrometer",
+    "characterize_instrument",
+    "default_library",
+    "ideal_mixture_spectrum",
+    "resample_spectrum",
+    "sample_concentrations",
+]

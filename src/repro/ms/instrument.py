@@ -1,0 +1,257 @@
+"""Ground-truth virtual MMS device (substitute for the hardware prototype).
+
+The paper evaluates its networks against *measured* spectra from a
+miniaturized mass-spectrometer prototype whose behaviour the training-data
+simulator only approximates.  We reproduce that setting with an explicit
+ground-truth device model that has every non-ideality the paper names:
+
+* Gaussian peak broadening, wider at higher m/z ("deformation of the peaks
+  to a curve");
+* m/z-dependent ("frequency-dependent") attenuation of sensitivity;
+* slowly varying baseline drift;
+* additive Gaussian plus signal-proportional (shot) noise;
+* an ignition-gas artifact peak with no counterpart in the sample's line
+  spectrum (visible in the paper's Fig. 4);
+* air-humidity contamination — H2O enters every real measurement even
+  though it is not a dosed compound (the paper's explanation for the O2
+  errors in Fig. 7);
+* configuration drift over time — the device the network is evaluated on
+  is never exactly the device the simulator was characterized on
+  ("changes in the configuration of the prototype").
+
+Tool 2 (:mod:`repro.ms.characterization`) sees only measurements produced
+by this class; it never reads the true parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.ms.compounds import CompoundLibrary
+from repro.ms.line_spectra import LineSpectrum, ideal_mixture_spectrum
+from repro.ms.spectrum import MassSpectrum, MzAxis
+
+__all__ = [
+    "InstrumentCharacteristics",
+    "VirtualMassSpectrometer",
+    "render_line_spectrum",
+]
+
+
+@dataclass(frozen=True)
+class InstrumentCharacteristics:
+    """Physical parameters of a (real or simulated) mass spectrometer."""
+
+    # Peak shape: Gaussian sigma(mz) = peak_sigma_base + peak_sigma_slope*mz.
+    peak_sigma_base: float = 0.055
+    peak_sigma_slope: float = 0.0016
+    # Sensitivity: gain * exp(-mz / attenuation_tau).
+    gain: float = 1.0
+    attenuation_tau: float = 70.0
+    # Baseline drift: slow sinusoid across the m/z axis.
+    baseline_amplitude: float = 0.003
+    baseline_period: float = 21.0
+    # Noise model.
+    noise_sigma: float = 0.0015
+    shot_noise_factor: float = 0.005
+    # Mass-axis calibration offset (m/z units).
+    mz_offset: float = 0.0
+    # Ignition-gas artifact (the unexplained peak in the paper's Fig. 4).
+    ignition_gas_mz: float = 4.0
+    ignition_gas_intensity: float = 0.07
+
+    def __post_init__(self):
+        if self.peak_sigma_base <= 0:
+            raise ValueError("peak_sigma_base must be positive")
+        if self.attenuation_tau <= 0:
+            raise ValueError("attenuation_tau must be positive")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        for label in ("baseline_amplitude", "noise_sigma", "shot_noise_factor"):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} must be non-negative")
+
+    def sigma_at(self, mz: np.ndarray) -> np.ndarray:
+        return self.peak_sigma_base + self.peak_sigma_slope * np.asarray(mz)
+
+    def sensitivity_at(self, mz: np.ndarray) -> np.ndarray:
+        return self.gain * np.exp(-np.asarray(mz) / self.attenuation_tau)
+
+
+def render_line_spectrum(
+    lines: LineSpectrum,
+    axis: MzAxis,
+    characteristics: InstrumentCharacteristics,
+    mz_shift: float = 0.0,
+) -> np.ndarray:
+    """Render a stick spectrum to a continuous intensity array.
+
+    Each line becomes a Gaussian of width sigma(mz), scaled by the
+    m/z-dependent sensitivity.  Lines outside the axis (after shifting)
+    simply contribute their tails.
+    """
+    grid = axis.values()
+    if len(lines) == 0:
+        return np.zeros(axis.size)
+    positions = lines.mz + characteristics.mz_offset + mz_shift
+    sigmas = characteristics.sigma_at(positions)
+    amplitudes = lines.intensities * characteristics.sensitivity_at(positions)
+    # (n_lines, grid) Gaussian table; vectorized outer subtraction.
+    z = (grid[None, :] - positions[:, None]) / sigmas[:, None]
+    return (amplitudes[:, None] * np.exp(-0.5 * z * z)).sum(axis=0)
+
+
+class VirtualMassSpectrometer:
+    """The ground-truth MMS prototype.
+
+    Parameters
+    ----------
+    characteristics:
+        True physical parameters (Tool 2 must *estimate* these).
+    axis:
+        The configured m/z range and stepsize.
+    library:
+        Compound line-spectra library used to synthesize samples.
+    contamination:
+        Compound -> partial concentration present in every measurement in
+        addition to the dosed sample (e.g. ``{"H2O": 0.02}`` for air
+        humidity in the inlet).  Not visible to the toolchain.
+    drift_per_hour:
+        Fractional change of gain (and a proportional change of the mass
+        offset) per simulated hour of operation; ``advance_time`` applies it.
+    """
+
+    def __init__(
+        self,
+        characteristics: InstrumentCharacteristics = InstrumentCharacteristics(),
+        axis: MzAxis = MzAxis(),
+        library: Optional[CompoundLibrary] = None,
+        contamination: Optional[Mapping[str, float]] = None,
+        drift_per_hour: float = 0.002,
+        peak_jitter_sigma: float = 0.004,
+        seed: int = 0,
+    ):
+        from repro.ms.compounds import default_library
+
+        self.characteristics = characteristics
+        self.axis = axis
+        self.library = library if library is not None else default_library()
+        self.contamination: Dict[str, float] = dict(contamination or {})
+        for name, level in self.contamination.items():
+            if level < 0:
+                raise ValueError(f"negative contamination for {name}")
+            self.library.get(name)  # validate early
+        if drift_per_hour < 0:
+            raise ValueError("drift_per_hour must be non-negative")
+        self.drift_per_hour = float(drift_per_hour)
+        self.peak_jitter_sigma = float(peak_jitter_sigma)
+        self.hours_operated = 0.0
+        self._rng = np.random.default_rng(seed)
+
+    # -- operational state ---------------------------------------------------
+
+    def advance_time(self, hours: float) -> None:
+        """Simulate configuration drift over ``hours`` of operation.
+
+        Gain decays slightly (detector ageing) and the mass-axis calibration
+        wanders; this is the gap between "the device Tool 2 characterized"
+        and "the device the network is later evaluated on".
+        """
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        factor = (1.0 - self.drift_per_hour) ** hours
+        # Ageing has a systematic trend (deterministic, scaling with time
+        # and the drift rate) plus a random walk on top; a drift-free
+        # instrument stays exactly frozen.
+        walk = self.drift_per_hour * np.sqrt(max(hours, 0.0))
+        offset_walk = 2.0 * walk + self._rng.normal(0.0, 0.5 * walk)
+        tau_factor = max(1.0 - 3.0 * walk + self._rng.normal(0.0, 0.5 * walk), 0.5)
+        width_factor = max(1.0 + 2.0 * walk + self._rng.normal(0.0, 0.3 * walk), 0.5)
+        self.characteristics = replace(
+            self.characteristics,
+            gain=self.characteristics.gain * factor,
+            mz_offset=self.characteristics.mz_offset + offset_walk,
+            attenuation_tau=self.characteristics.attenuation_tau * tau_factor,
+            peak_sigma_base=self.characteristics.peak_sigma_base * width_factor,
+        )
+        self.hours_operated += hours
+
+    # -- measurement -----------------------------------------------------------
+
+    def effective_sample(self, concentrations: Mapping[str, float]) -> Dict[str, float]:
+        """The composition actually present in the chamber (with contamination)."""
+        sample = {name: float(v) for name, v in concentrations.items()}
+        for name, level in self.contamination.items():
+            sample[name] = sample.get(name, 0.0) + level
+        total = sum(sample.values())
+        if total <= 0:
+            raise ValueError("sample is empty")
+        return {name: v / total for name, v in sample.items()}
+
+    def measure(
+        self,
+        concentrations: Mapping[str, float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> MassSpectrum:
+        """Acquire one noisy spectrum of a dosed mixture."""
+        rng = rng if rng is not None else self._rng
+        sample = self.effective_sample(concentrations)
+        lines = ideal_mixture_spectrum(sample, self.library)
+        jitter = rng.normal(0.0, self.peak_jitter_sigma)
+        signal = render_line_spectrum(lines, self.axis, self.characteristics, jitter)
+        signal = signal + self._ignition_gas_signal(jitter)
+        signal = signal + self._baseline(rng)
+        noisy = self._add_noise(signal, rng)
+        return MassSpectrum(
+            self.axis,
+            noisy,
+            metadata={
+                "dosed_concentrations": dict(concentrations),
+                "true_sample": sample,
+                "hours_operated": self.hours_operated,
+            },
+        )
+
+    def measure_series(
+        self,
+        concentrations: Mapping[str, float],
+        n: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> list:
+        """A measurement series: repeated acquisitions of the same mixture."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        rng = rng if rng is not None else self._rng
+        return [self.measure(concentrations, rng) for _ in range(n)]
+
+    # -- internals -------------------------------------------------------------
+
+    def _ignition_gas_signal(self, jitter: float) -> np.ndarray:
+        ch = self.characteristics
+        if ch.ignition_gas_intensity <= 0:
+            return np.zeros(self.axis.size)
+        artifact = LineSpectrum(
+            np.array([ch.ignition_gas_mz]), np.array([ch.ignition_gas_intensity])
+        )
+        return render_line_spectrum(artifact, self.axis, ch, jitter)
+
+    def _baseline(self, rng: np.random.Generator) -> np.ndarray:
+        ch = self.characteristics
+        if ch.baseline_amplitude == 0:
+            return np.zeros(self.axis.size)
+        grid = self.axis.values()
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        slope = rng.uniform(0.3, 1.0)
+        wave = np.sin(2.0 * np.pi * grid / ch.baseline_period + phase)
+        return ch.baseline_amplitude * (0.5 * (wave + 1.0)) * slope
+
+    def _add_noise(self, signal: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        ch = self.characteristics
+        noise = rng.normal(0.0, ch.noise_sigma, size=signal.shape)
+        shot = rng.normal(0.0, 1.0, size=signal.shape) * (
+            ch.shot_noise_factor * np.sqrt(np.abs(signal))
+        )
+        return np.clip(signal + noise + shot, 0.0, None)

@@ -1,0 +1,178 @@
+"""Mixture plans and the virtual gas-mixing rig.
+
+"To evaluate the networks with measured data, we mixed gases with known
+spectra by using mass flow controllers, allowing us to create mixtures with
+controlled concentrations of compounds."  The rig here doses a mixture plan
+through a :class:`~repro.ms.instrument.VirtualMassSpectrometer`, with a
+small dosing error modelling MFC accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.ms.instrument import VirtualMassSpectrometer
+from repro.ms.spectrum import MassSpectrum
+
+__all__ = [
+    "MixturePlan",
+    "MassFlowControllerRig",
+    "sample_concentrations",
+    "default_mixture_plan",
+]
+
+
+def sample_concentrations(
+    n_compounds: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """Dirichlet-distributed concentration vectors (rows sum to one).
+
+    ``alpha=1`` samples uniformly on the simplex, covering "arbitrary
+    concentrations" as Tool 1 requires; smaller alpha concentrates mass on
+    sparse mixtures, larger alpha on balanced ones.
+    """
+    if n_compounds <= 0 or n_samples <= 0:
+        raise ValueError("n_compounds and n_samples must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return rng.dirichlet(np.full(n_compounds, alpha), size=n_samples)
+
+
+@dataclass
+class MixturePlan:
+    """A named list of target mixtures for calibration or evaluation."""
+
+    compounds: Tuple[str, ...]
+    mixtures: List[Dict[str, float]] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.compounds = tuple(self.compounds)
+        for mixture in self.mixtures:
+            self._validate(mixture)
+
+    def _validate(self, mixture: Mapping[str, float]) -> None:
+        for name, fraction in mixture.items():
+            if name not in self.compounds:
+                raise ValueError(
+                    f"mixture references {name!r} outside the task "
+                    f"compounds {self.compounds}"
+                )
+            if fraction < 0:
+                raise ValueError(f"negative fraction for {name}")
+        total = sum(mixture.values())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"mixture fractions sum to {total}, expected 1")
+
+    def add(self, mixture: Mapping[str, float]) -> None:
+        mixture = dict(mixture)
+        self._validate(mixture)
+        self.mixtures.append(mixture)
+
+    def as_matrix(self) -> np.ndarray:
+        """(n_mixtures, n_compounds) fraction matrix in compound order."""
+        matrix = np.zeros((len(self.mixtures), len(self.compounds)))
+        for i, mixture in enumerate(self.mixtures):
+            for j, name in enumerate(self.compounds):
+                matrix[i, j] = mixture.get(name, 0.0)
+        return matrix
+
+    def __len__(self) -> int:
+        return len(self.mixtures)
+
+
+def default_mixture_plan(
+    compounds: Sequence[str],
+    n_mixtures: int = 14,
+    seed: int = 2021,
+) -> MixturePlan:
+    """A calibration plan like the paper's: 14 different mixtures.
+
+    The plan mixes structured points (dominant-compound mixtures, so every
+    compound appears strongly somewhere — needed for characterization) with
+    random simplex points for coverage.
+    """
+    if n_mixtures < len(compounds):
+        raise ValueError(
+            f"need at least one mixture per compound "
+            f"({len(compounds)}), got {n_mixtures}"
+        )
+    rng = np.random.default_rng(seed)
+    plan = MixturePlan(tuple(compounds))
+    k = len(compounds)
+    # One dominant mixture per compound: 70 % target, rest spread evenly.
+    for i, name in enumerate(compounds):
+        mixture = {c: 0.3 / (k - 1) for c in compounds if c != name}
+        mixture[name] = 0.7
+        plan.add(mixture)
+    # Fill up with random simplex points.
+    for _ in range(n_mixtures - k):
+        fractions = rng.dirichlet(np.ones(k))
+        plan.add({name: float(f) for name, f in zip(compounds, fractions)})
+    return plan
+
+
+class MassFlowControllerRig:
+    """Doses mixtures through mass flow controllers into the instrument.
+
+    ``dosing_error`` is the relative accuracy of each MFC channel; the
+    *label* recorded for a measurement is the setpoint, while the chamber
+    receives the (slightly different) actual flows — exactly the situation
+    of a real calibration campaign.
+    """
+
+    def __init__(
+        self,
+        instrument: VirtualMassSpectrometer,
+        dosing_error: float = 0.005,
+        seed: int = 7,
+    ):
+        if dosing_error < 0:
+            raise ValueError("dosing_error must be non-negative")
+        self.instrument = instrument
+        self.dosing_error = float(dosing_error)
+        self._rng = np.random.default_rng(seed)
+
+    def dose(self, setpoint: Mapping[str, float]) -> Dict[str, float]:
+        """Actual (normalized) fractions delivered for a setpoint."""
+        names = list(setpoint)
+        target = np.array([setpoint[name] for name in names], dtype=np.float64)
+        if np.any(target < 0):
+            raise ValueError("setpoint fractions must be non-negative")
+        errors = self._rng.normal(1.0, self.dosing_error, size=target.shape)
+        actual = np.clip(target * errors, 0.0, None)
+        total = actual.sum()
+        if total <= 0:
+            raise ValueError("setpoint is empty")
+        actual /= total
+        return {name: float(v) for name, v in zip(names, actual)}
+
+    def measure_mixture(
+        self, setpoint: Mapping[str, float]
+    ) -> Tuple[MassSpectrum, Dict[str, float]]:
+        """Measure one sample; returns (spectrum, setpoint-label)."""
+        actual = self.dose(setpoint)
+        spectrum = self.instrument.measure(actual)
+        return spectrum, dict(setpoint)
+
+    def measure_series(
+        self, setpoint: Mapping[str, float], n: int
+    ) -> List[Tuple[MassSpectrum, Dict[str, float]]]:
+        """A measurement series of ``n`` repeats of one mixture."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return [self.measure_mixture(setpoint) for _ in range(n)]
+
+    def measure_plan(
+        self, plan: MixturePlan, samples_per_mixture: int
+    ) -> List[Tuple[MassSpectrum, Dict[str, float]]]:
+        """Measure every mixture of a plan ``samples_per_mixture`` times."""
+        measurements = []
+        for mixture in plan.mixtures:
+            measurements.extend(self.measure_series(mixture, samples_per_mixture))
+        return measurements

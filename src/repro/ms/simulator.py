@@ -1,0 +1,163 @@
+"""Tool 3 — simulator of the portable mass spectrometer.
+
+Takes instrument characteristics (typically *fitted* ones from Tool 2) and
+renders ideal line spectra into continuous, noisy spectra "matching the
+characteristics of the real measuring device".  Its main job is the bulk
+generation of labelled training data: with a precomputed per-compound
+response matrix, a 100 000-spectrum dataset takes seconds.
+
+As the paper notes, "the simulator only considers a static system state" —
+no per-shot peak jitter, no contamination, no drift.  Those omissions are
+deliberate: they are what separates simulated from measured accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ms.compounds import CompoundLibrary, default_library
+from repro.ms.instrument import InstrumentCharacteristics, render_line_spectrum
+from repro.ms.line_spectra import LineSpectrum, ideal_mixture_spectrum
+from repro.ms.mixtures import sample_concentrations
+from repro.ms.spectrum import MassSpectrum, MzAxis
+
+__all__ = ["MassSpectrometerSimulator"]
+
+
+class MassSpectrometerSimulator:
+    """Continuous-spectrum renderer + training-data generator."""
+
+    def __init__(
+        self,
+        characteristics: InstrumentCharacteristics,
+        axis: MzAxis = MzAxis(),
+        library: Optional[CompoundLibrary] = None,
+    ):
+        self.characteristics = characteristics
+        self.axis = axis
+        self.library = library if library is not None else default_library()
+
+    # -- single-spectrum API -------------------------------------------------
+
+    def render(
+        self,
+        lines: LineSpectrum,
+        rng: Optional[np.random.Generator] = None,
+        with_noise: bool = True,
+    ) -> MassSpectrum:
+        """Render a stick spectrum into a continuous spectrum."""
+        signal = render_line_spectrum(lines, self.axis, self.characteristics)
+        signal = signal + self._ignition_gas_signal()
+        if with_noise:
+            if rng is None:
+                raise ValueError("with_noise=True requires an rng")
+            signal = signal + self._baseline(rng)
+            signal = self._add_noise(signal, rng)
+        return MassSpectrum(self.axis, signal, dict(lines.metadata))
+
+    def simulate(
+        self,
+        concentrations: Mapping[str, float],
+        rng: Optional[np.random.Generator] = None,
+        with_noise: bool = True,
+    ) -> MassSpectrum:
+        """Simulate one measurement of a mixture (Tool 1 + Tool 3)."""
+        lines = ideal_mixture_spectrum(concentrations, self.library)
+        return self.render(lines, rng=rng, with_noise=with_noise)
+
+    # -- bulk dataset generation ----------------------------------------------
+
+    def response_matrix(self, compound_names: Sequence[str]) -> np.ndarray:
+        """(n_compounds, axis.size) continuous unit-concentration responses."""
+        rows = []
+        for name in compound_names:
+            lines = ideal_mixture_spectrum({name: 1.0}, self.library)
+            rows.append(render_line_spectrum(lines, self.axis, self.characteristics))
+        return np.stack(rows, axis=0)
+
+    def generate_dataset(
+        self,
+        compound_names: Sequence[str],
+        n: int,
+        rng: np.random.Generator,
+        concentration_sampler: Optional[Callable[[int, np.random.Generator], np.ndarray]] = None,
+        normalize: str = "max",
+        with_noise: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate ``n`` labelled simulated spectra.
+
+        Returns ``(X, Y)`` with ``X`` of shape ``(n, axis.size)`` (normalized
+        spectra) and ``Y`` of shape ``(n, len(compound_names))`` (the
+        concentration labels, summing to one per row).
+
+        The whole pipeline is vectorized through the response matrix, so the
+        cost is one ``(n, k) @ (k, grid)`` matmul plus noise generation —
+        "a sufficient number of simulated and labelled measurement series
+        can be generated in minutes".
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not compound_names:
+            raise ValueError("compound_names must not be empty")
+        sampler = concentration_sampler or (
+            lambda count, generator: sample_concentrations(
+                len(compound_names), count, generator
+            )
+        )
+        labels = np.asarray(sampler(n, rng), dtype=np.float64)
+        if labels.shape != (n, len(compound_names)):
+            raise ValueError(
+                f"concentration sampler returned shape {labels.shape}, "
+                f"expected {(n, len(compound_names))}"
+            )
+        response = self.response_matrix(compound_names)
+        spectra = labels @ response
+        spectra += self._ignition_gas_signal()[None, :]
+        if with_noise:
+            spectra += self._batch_baselines(n, rng)
+            spectra = self._add_noise(spectra, rng)
+        if normalize == "max":
+            peak = np.max(spectra, axis=1, keepdims=True)
+            np.clip(peak, 1e-12, None, out=peak)
+            spectra = spectra / peak
+        elif normalize == "area":
+            area = np.sum(spectra, axis=1, keepdims=True) * self.axis.step
+            np.clip(area, 1e-12, None, out=area)
+            spectra = spectra / area
+        elif normalize != "none":
+            raise ValueError(f"normalize must be max/area/none, got {normalize!r}")
+        return spectra, labels
+
+    # -- internals -------------------------------------------------------------
+
+    def _ignition_gas_signal(self) -> np.ndarray:
+        ch = self.characteristics
+        if ch.ignition_gas_intensity <= 0:
+            return np.zeros(self.axis.size)
+        artifact = LineSpectrum(
+            np.array([ch.ignition_gas_mz]), np.array([ch.ignition_gas_intensity])
+        )
+        return render_line_spectrum(artifact, self.axis, ch)
+
+    def _baseline(self, rng: np.random.Generator) -> np.ndarray:
+        return self._batch_baselines(1, rng)[0]
+
+    def _batch_baselines(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        ch = self.characteristics
+        if ch.baseline_amplitude == 0:
+            return np.zeros((n, self.axis.size))
+        grid = self.axis.values()
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=(n, 1))
+        slopes = rng.uniform(0.3, 1.0, size=(n, 1))
+        wave = np.sin(2.0 * np.pi * grid[None, :] / ch.baseline_period + phases)
+        return ch.baseline_amplitude * 0.5 * (wave + 1.0) * slopes
+
+    def _add_noise(self, signal: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        ch = self.characteristics
+        noise = rng.normal(0.0, ch.noise_sigma, size=signal.shape)
+        shot = rng.normal(0.0, 1.0, size=signal.shape) * (
+            ch.shot_noise_factor * np.sqrt(np.abs(signal))
+        )
+        return np.clip(signal + noise + shot, 0.0, None)

@@ -1,0 +1,174 @@
+"""Indirect Hard Modelling analysis — the state-of-the-art baseline.
+
+"With IHM, these pure components can be found in the total spectrum of a
+mixture by fitting algorithms and their intensities and thus concentrations
+can be determined, although individual signals are allowed to shift or
+broaden."
+
+The fit is a bounded nonlinear least-squares over, per component, one
+concentration, one shift and one broadening factor (3k parameters for k
+components), warm-started by a non-negative linear solve with the unshifted
+pure spectra.  This is deliberately an *honest* implementation of the
+reference method: it is accurate but, being an iterative optimization over
+re-rendered model spectra, orders of magnitude slower than a single ANN
+forward pass — the paper's ">1000x faster" comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+from scipy.optimize import least_squares, nnls
+
+from repro.nmr.acquisition import NMRSpectrum
+from repro.nmr.hard_model import HardModelSet
+
+__all__ = ["IHMResult", "IHMAnalysis"]
+
+
+@dataclass
+class IHMResult:
+    """Outcome of one IHM mixture fit."""
+
+    concentrations: Dict[str, float]
+    shifts: Dict[str, float]
+    broadenings: Dict[str, float]
+    residual_norm: float
+    n_function_evaluations: int
+    elapsed_seconds: float
+
+    def concentration_vector(self, names: Sequence[str]) -> np.ndarray:
+        return np.array([self.concentrations[name] for name in names])
+
+
+class IHMAnalysis:
+    """Fits a :class:`HardModelSet` to measured mixture spectra."""
+
+    def __init__(
+        self,
+        models: HardModelSet,
+        fit_shifts: bool = True,
+        fit_broadening: bool = True,
+        max_shift: float = 0.05,
+        broadening_bounds: tuple = (0.5, 2.0),
+        max_concentration: float = 10.0,
+    ):
+        if max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        low, high = broadening_bounds
+        if not 0 < low <= 1.0 <= high:
+            raise ValueError(
+                f"broadening_bounds must bracket 1.0 with a positive lower "
+                f"bound, got {broadening_bounds}"
+            )
+        self.models = models
+        self.fit_shifts = bool(fit_shifts)
+        self.fit_broadening = bool(fit_broadening)
+        self.max_shift = float(max_shift)
+        self.broadening_bounds = (float(low), float(high))
+        self.max_concentration = float(max_concentration)
+        self._unshifted = models.pure_spectra()
+
+    # -- public API ---------------------------------------------------------
+
+    def analyze(self, spectrum: Union[NMRSpectrum, np.ndarray]) -> IHMResult:
+        """Fit one mixture spectrum; returns concentrations per component."""
+        data = self._as_array(spectrum)
+        start = time.perf_counter()
+        k = len(self.models)
+
+        c0 = self._linear_warm_start(data)
+        x0 = [c0]
+        lower = [np.zeros(k)]
+        upper = [np.full(k, self.max_concentration)]
+        if self.fit_shifts:
+            x0.append(np.zeros(k))
+            lower.append(np.full(k, -self.max_shift))
+            upper.append(np.full(k, self.max_shift))
+        if self.fit_broadening:
+            x0.append(np.ones(k))
+            lower.append(np.full(k, self.broadening_bounds[0]))
+            upper.append(np.full(k, self.broadening_bounds[1]))
+
+        result = least_squares(
+            self._residuals,
+            np.concatenate(x0),
+            bounds=(np.concatenate(lower), np.concatenate(upper)),
+            args=(data,),
+            method="trf",
+            xtol=1e-10,
+            ftol=1e-10,
+            max_nfev=200,
+        )
+        conc, shifts, broadenings = self._unpack(result.x)
+        elapsed = time.perf_counter() - start
+        names = self.models.names
+        return IHMResult(
+            concentrations={n: float(c) for n, c in zip(names, conc)},
+            shifts={n: float(s) for n, s in zip(names, shifts)},
+            broadenings={n: float(b) for n, b in zip(names, broadenings)},
+            residual_norm=float(np.linalg.norm(result.fun)),
+            n_function_evaluations=int(result.nfev),
+            elapsed_seconds=elapsed,
+        )
+
+    def analyze_batch(
+        self, spectra: Union[np.ndarray, Sequence[NMRSpectrum]]
+    ) -> List[IHMResult]:
+        """Fit a batch of spectra one by one (IHM has no batch mode)."""
+        return [self.analyze(s) for s in spectra]
+
+    def predict(self, spectra: np.ndarray) -> np.ndarray:
+        """(n, points) -> (n, k) concentration matrix, model order."""
+        names = self.models.names
+        return np.stack(
+            [r.concentration_vector(names) for r in self.analyze_batch(spectra)]
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _as_array(self, spectrum) -> np.ndarray:
+        data = spectrum.intensities if isinstance(spectrum, NMRSpectrum) else spectrum
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != (self.models.axis.points,):
+            raise ValueError(
+                f"spectrum has shape {data.shape}, expected "
+                f"({self.models.axis.points},)"
+            )
+        return data
+
+    def _linear_warm_start(self, data: np.ndarray) -> np.ndarray:
+        coeffs, _ = nnls(self._unshifted.T, np.clip(data, 0.0, None))
+        return np.clip(coeffs, 0.0, self.max_concentration)
+
+    def _unpack(self, x: np.ndarray):
+        k = len(self.models)
+        conc = x[:k]
+        idx = k
+        if self.fit_shifts:
+            shifts = x[idx : idx + k]
+            idx += k
+        else:
+            shifts = np.zeros(k)
+        if self.fit_broadening:
+            broadenings = x[idx : idx + k]
+        else:
+            broadenings = np.ones(k)
+        return conc, shifts, broadenings
+
+    def _residuals(self, x: np.ndarray, data: np.ndarray) -> np.ndarray:
+        conc, shifts, broadenings = self._unpack(x)
+        model = np.zeros_like(data)
+        for j, component in enumerate(self.models.models):
+            if conc[j] == 0.0:
+                continue
+            model += component.evaluate(
+                self.models.axis,
+                shift=shifts[j],
+                broadening=broadenings[j],
+                concentration=conc[j],
+            )
+        return model - data

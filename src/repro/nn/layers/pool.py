@@ -1,0 +1,113 @@
+"""1-D pooling layers (used in the paper's NMR architecture search)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+__all__ = ["MaxPool1D", "AvgPool1D", "GlobalAvgPool1D"]
+
+
+class _Pool1D(Layer):
+    def __init__(self, pool_size: int = 2, strides: int = None):
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self.strides = int(strides) if strides is not None else self.pool_size
+        if self.strides <= 0:
+            raise ValueError(f"strides must be positive, got {self.strides}")
+        self._windows = None
+        self._cache = None
+
+    def compute_output_shape(self, input_shape):
+        if len(input_shape) != 2:
+            raise ValueError(f"pooling expects (length, channels), got {input_shape}")
+        length, channels = input_shape
+        out = (length - self.pool_size) // self.strides + 1
+        if out <= 0:
+            raise ValueError(
+                f"pool_size {self.pool_size} does not fit length {length}"
+            )
+        return (out, channels)
+
+    def build(self, input_shape, rng):
+        length = input_shape[0]
+        out = (length - self.pool_size) // self.strides + 1
+        starts = np.arange(out) * self.strides
+        self._windows = starts[:, None] + np.arange(self.pool_size)[None, :]
+        super().build(input_shape, rng)
+
+    def _gather(self, x):
+        """(N, L, C) -> (N, out_L, pool, C)."""
+        return x[:, self._windows, :]
+
+    def _scatter(self, dwin, length, n, channels):
+        # One vectorized add per pool offset (collision-free for fixed
+        # offset) instead of a slow unbuffered np.add.at.
+        dx = np.zeros((n, length, channels), dtype=dwin.dtype)
+        starts = self._windows[:, 0]
+        for offset in range(self.pool_size):
+            dx[:, starts + offset, :] += dwin[:, :, offset, :]
+        return dx
+
+    def get_config(self):
+        return {"pool_size": self.pool_size, "strides": self.strides}
+
+
+class MaxPool1D(_Pool1D):
+    def forward(self, x, training=False):
+        self._check_built()
+        win = self._gather(x)
+        y = win.max(axis=2)
+        # One-hot argmax mask; ties broadcast the gradient to the first max.
+        mask = win == y[:, :, None, :]
+        first = np.cumsum(mask, axis=2) == 1
+        self._cache = (x.shape, mask & first)
+        return y
+
+    def backward(self, grad):
+        x_shape, mask = self._cache
+        dwin = mask * grad[:, :, None, :]
+        return self._scatter(dwin, x_shape[1], x_shape[0], x_shape[2])
+
+
+class AvgPool1D(_Pool1D):
+    def forward(self, x, training=False):
+        self._check_built()
+        win = self._gather(x)
+        self._cache = x.shape
+        return win.mean(axis=2)
+
+    def backward(self, grad):
+        x_shape = self._cache
+        dwin = np.broadcast_to(
+            grad[:, :, None, :] / self.pool_size,
+            (grad.shape[0], grad.shape[1], self.pool_size, grad.shape[2]),
+        )
+        return self._scatter(np.ascontiguousarray(dwin), x_shape[1], x_shape[0], x_shape[2])
+
+
+class GlobalAvgPool1D(Layer):
+    """Average over the length axis: (N, L, C) -> (N, C)."""
+
+    def __init__(self):
+        super().__init__()
+        self._in_shape = None
+
+    def compute_output_shape(self, input_shape):
+        if len(input_shape) != 2:
+            raise ValueError(f"expected (length, channels), got {input_shape}")
+        return (input_shape[1],)
+
+    def forward(self, x, training=False):
+        self._check_built()
+        self._in_shape = x.shape
+        return x.mean(axis=1)
+
+    def backward(self, grad):
+        n, length, channels = self._in_shape
+        return np.broadcast_to(
+            grad[:, None, :] / length, (n, length, channels)
+        ).copy()

@@ -1,0 +1,61 @@
+"""Evaluation metrics used in the paper's result tables and figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "per_output_mae",
+]
+
+
+def _validate(pred: np.ndarray, target: np.ndarray) -> tuple:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return pred, target
+
+
+def mean_absolute_error(pred, target) -> float:
+    """MAE over all outputs — the paper's headline metric for the MS nets."""
+    pred, target = _validate(pred, target)
+    return float(np.mean(np.abs(pred - target)))
+
+
+def mean_squared_error(pred, target) -> float:
+    """MSE — the paper's comparison metric for the NMR models vs IHM."""
+    pred, target = _validate(pred, target)
+    diff = pred - target
+    return float(np.mean(diff * diff))
+
+
+def root_mean_squared_error(pred, target) -> float:
+    """RMSE — the square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(pred, target)))
+
+
+def r2_score(pred, target) -> float:
+    """Coefficient of determination, averaged over outputs."""
+    pred, target = _validate(pred, target)
+    pred = pred.reshape(pred.shape[0], -1)
+    target = target.reshape(target.shape[0], -1)
+    ss_res = np.sum((target - pred) ** 2, axis=0)
+    ss_tot = np.sum((target - target.mean(axis=0)) ** 2, axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r2 = np.where(ss_tot > 0, 1.0 - ss_res / np.where(ss_tot > 0, ss_tot, 1.0), 0.0)
+    # A constant target that is predicted exactly counts as explained.
+    r2 = np.where((ss_tot == 0) & (ss_res == 0), 1.0, r2)
+    return float(np.mean(r2))
+
+
+def per_output_mae(pred, target) -> np.ndarray:
+    """MAE per output dimension — the blue per-substance bars of Figs. 5-7."""
+    pred, target = _validate(pred, target)
+    pred = pred.reshape(pred.shape[0], -1)
+    target = target.reshape(target.shape[0], -1)
+    return np.mean(np.abs(pred - target), axis=0)

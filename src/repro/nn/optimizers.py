@@ -1,0 +1,196 @@
+"""Gradient-descent optimizers (SGD+momentum, Adam, RMSprop).
+
+Optimizers hold per-parameter state keyed by ``(layer_index, param_name)``
+so a single optimizer instance can drive a whole :class:`Sequential` model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSprop", "get_optimizer"]
+
+ParamKey = Tuple[int, str]
+
+
+class Optimizer:
+    """Base class: per-parameter state keyed by ``(layer_index, name)``."""
+
+    name = "optimizer"
+
+    def __init__(self, learning_rate: float = 0.001, clipnorm: float = None):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.clipnorm = float(clipnorm) if clipnorm is not None else None
+        self.iterations = 0
+
+    def apply(self, params: Dict[ParamKey, np.ndarray], grads: Dict[ParamKey, np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        self.iterations += 1
+        grads = self._maybe_clip(grads)
+        for key, g in grads.items():
+            self._update(key, params[key], g)
+
+    def _maybe_clip(self, grads):
+        if self.clipnorm is None:
+            return grads
+        total = np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+        if total > self.clipnorm and total > 0:
+            scale = self.clipnorm / total
+            return {k: g * scale for k, g in grads.items()}
+        return grads
+
+    def _update(self, key: ParamKey, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Discard accumulated state (momentum, moments, step count)."""
+        self.iterations = 0
+
+    def get_config(self) -> dict:
+        return {
+            "name": self.name,
+            "learning_rate": self.learning_rate,
+            "clipnorm": self.clipnorm,
+        }
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    name = "sgd"
+
+    def __init__(self, learning_rate=0.01, momentum=0.0, nesterov=False, clipnorm=None):
+        super().__init__(learning_rate, clipnorm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self._velocity: Dict[ParamKey, np.ndarray] = {}
+
+    def _update(self, key, param, grad):
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(param)
+        v = self.momentum * v - self.learning_rate * grad
+        self._velocity[key] = v
+        if self.nesterov:
+            param += self.momentum * v - self.learning_rate * grad
+        else:
+            param += v
+
+    def reset(self):
+        super().reset()
+        self._velocity.clear()
+
+    def get_config(self):
+        config = super().get_config()
+        config.update(momentum=self.momentum, nesterov=self.nesterov)
+        return config
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba): bias-corrected first/second moment estimates."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate=0.001,
+        beta_1=0.9,
+        beta_2=0.999,
+        epsilon=1e-8,
+        clipnorm=None,
+    ):
+        super().__init__(learning_rate, clipnorm)
+        for label, value in (("beta_1", beta_1), ("beta_2", beta_2)):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{label} must be in [0, 1), got {value}")
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[ParamKey, np.ndarray] = {}
+        self._v: Dict[ParamKey, np.ndarray] = {}
+
+    def _update(self, key, param, grad):
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            self._v[key] = np.zeros_like(param)
+        v = self._v[key]
+        m = self.beta_1 * m + (1.0 - self.beta_1) * grad
+        v = self.beta_2 * v + (1.0 - self.beta_2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+        t = self.iterations
+        m_hat = m / (1.0 - self.beta_1**t)
+        v_hat = v / (1.0 - self.beta_2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self):
+        super().reset()
+        self._m.clear()
+        self._v.clear()
+
+    def get_config(self):
+        config = super().get_config()
+        config.update(beta_1=self.beta_1, beta_2=self.beta_2, epsilon=self.epsilon)
+        return config
+
+
+class RMSprop(Optimizer):
+    """RMSprop: gradient scaling by a running mean of squared gradients."""
+
+    name = "rmsprop"
+
+    def __init__(self, learning_rate=0.001, rho=0.9, epsilon=1e-8, clipnorm=None):
+        super().__init__(learning_rate, clipnorm)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+        self._sq: Dict[ParamKey, np.ndarray] = {}
+
+    def _update(self, key, param, grad):
+        sq = self._sq.get(key)
+        if sq is None:
+            sq = np.zeros_like(param)
+        sq = self.rho * sq + (1.0 - self.rho) * grad * grad
+        self._sq[key] = sq
+        param -= self.learning_rate * grad / (np.sqrt(sq) + self.epsilon)
+
+    def reset(self):
+        super().reset()
+        self._sq.clear()
+
+    def get_config(self):
+        config = super().get_config()
+        config.update(rho=self.rho, epsilon=self.epsilon)
+        return config
+
+
+_REGISTRY = {"sgd": SGD, "adam": Adam, "rmsprop": RMSprop}
+
+
+def get_optimizer(spec) -> Optimizer:
+    """Resolve an optimizer from a name, config dict, or instance."""
+    if isinstance(spec, Optimizer):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown optimizer {spec!r}; known: {sorted(_REGISTRY)}"
+            ) from None
+    if isinstance(spec, dict):
+        config = dict(spec)
+        name = config.pop("name")
+        return _REGISTRY[name](**config)
+    raise TypeError(f"cannot resolve optimizer from {type(spec).__name__}")

@@ -1,0 +1,156 @@
+"""Input/label preprocessing utilities.
+
+Small fit/transform scalers in the scikit-learn idiom, used to condition
+spectra (which arrive max-normalized but not centered) and concentration
+labels before training.  All scalers are serializable via ``get_config`` /
+``from_config`` so a deployment package can ship its preprocessing with
+the weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler", "scaler_from_config"]
+
+
+class _Scaler:
+    name = "scaler"
+
+    def __init__(self):
+        self.fitted = False
+
+    def fit(self, x: np.ndarray) -> "_Scaler":
+        raise NotImplementedError
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def _require_fitted(self):
+        if not self.fitted:
+            raise RuntimeError(f"{type(self).__name__} used before fit()")
+
+    @staticmethod
+    def _as_2d(x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {x.shape}")
+        return x
+
+
+class StandardScaler(_Scaler):
+    """Per-feature zero-mean / unit-variance scaling."""
+
+    name = "standard"
+
+    def __init__(self):
+        super().__init__()
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, x):
+        x = self._as_2d(x)
+        if x.shape[0] < 2:
+            raise ValueError("need at least 2 samples to fit a StandardScaler")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant features pass through unscaled rather than dividing by 0.
+        self.scale_ = np.where(std > 0, std, 1.0)
+        self.fitted = True
+        return self
+
+    def transform(self, x):
+        self._require_fitted()
+        x = self._as_2d(x)
+        return (x - self.mean_) / self.scale_
+
+    def inverse_transform(self, x):
+        self._require_fitted()
+        x = self._as_2d(x)
+        return x * self.scale_ + self.mean_
+
+    def get_config(self) -> dict:
+        self._require_fitted()
+        return {
+            "name": self.name,
+            "mean": self.mean_.tolist(),
+            "scale": self.scale_.tolist(),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(config["mean"], dtype=np.float64)
+        scaler.scale_ = np.asarray(config["scale"], dtype=np.float64)
+        scaler.fitted = True
+        return scaler
+
+
+class MinMaxScaler(_Scaler):
+    """Per-feature scaling to a target range (default [0, 1])."""
+
+    name = "minmax"
+
+    def __init__(self, feature_range=(0.0, 1.0)):
+        super().__init__()
+        low, high = feature_range
+        if high <= low:
+            raise ValueError(f"invalid feature_range {feature_range}")
+        self.feature_range = (float(low), float(high))
+        self.min_: Optional[np.ndarray] = None
+        self.span_: Optional[np.ndarray] = None
+
+    def fit(self, x):
+        x = self._as_2d(x)
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        self.span_ = np.where(span > 0, span, 1.0)
+        self.fitted = True
+        return self
+
+    def transform(self, x):
+        self._require_fitted()
+        x = self._as_2d(x)
+        low, high = self.feature_range
+        return low + (x - self.min_) / self.span_ * (high - low)
+
+    def inverse_transform(self, x):
+        self._require_fitted()
+        x = self._as_2d(x)
+        low, high = self.feature_range
+        return (x - low) / (high - low) * self.span_ + self.min_
+
+    def get_config(self) -> dict:
+        self._require_fitted()
+        return {
+            "name": self.name,
+            "feature_range": list(self.feature_range),
+            "min": self.min_.tolist(),
+            "span": self.span_.tolist(),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "MinMaxScaler":
+        scaler = cls(tuple(config["feature_range"]))
+        scaler.min_ = np.asarray(config["min"], dtype=np.float64)
+        scaler.span_ = np.asarray(config["span"], dtype=np.float64)
+        scaler.fitted = True
+        return scaler
+
+
+def scaler_from_config(config: dict):
+    """Rebuild a scaler from :meth:`get_config` output."""
+    registry = {cls.name: cls for cls in (StandardScaler, MinMaxScaler)}
+    try:
+        cls = registry[config["name"]]
+    except KeyError:
+        raise ValueError(f"unknown scaler {config.get('name')!r}") from None
+    return cls.from_config(config)

@@ -1,0 +1,68 @@
+"""Model save/load.
+
+A model is stored as a single ``.npz`` archive containing a JSON
+architecture spec plus every weight array.  This plays the role of the
+paper's "tool to export the desired ANN for use on embedded platforms" and
+feeds the database-backed provenance tracking (models are artifacts like
+any other).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.nn.layers import LAYER_REGISTRY
+from repro.nn.model import Sequential
+
+__all__ = ["save_model", "load_model", "model_to_dict", "model_from_dict"]
+
+
+def model_to_dict(model: Sequential) -> dict:
+    """Architecture (not weights) as a JSON-serializable dict."""
+    if not model.built:
+        raise ValueError("only built models can be serialized")
+    return model.get_config()
+
+
+def model_from_dict(config: dict, seed: int = 0) -> Sequential:
+    """Rebuild an (unweighted) model from :func:`model_to_dict` output."""
+    model = Sequential(name=config.get("name", "model"))
+    for entry in config["layers"]:
+        cls = LAYER_REGISTRY.get(entry["class"])
+        if cls is None:
+            raise ValueError(f"unknown layer class {entry['class']!r}")
+        model.add(cls(**entry["config"]))
+    input_shape = config.get("input_shape")
+    if input_shape is None:
+        raise ValueError("config is missing input_shape")
+    model.build(tuple(input_shape), seed=seed)
+    return model
+
+
+def save_model(model: Sequential, path: Union[str, os.PathLike]) -> str:
+    """Save architecture + weights to ``path`` (a ``.npz`` file)."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    arrays = {"__config__": np.frombuffer(
+        json.dumps(model_to_dict(model)).encode("utf-8"), dtype=np.uint8
+    )}
+    for i, weight in enumerate(model.get_weights()):
+        arrays[f"w{i:04d}"] = weight
+    np.savez(path, **arrays)
+    return path
+
+
+def load_model(path: Union[str, os.PathLike]) -> Sequential:
+    """Load a model saved by :func:`save_model`."""
+    with np.load(os.fspath(path)) as data:
+        config = json.loads(bytes(data["__config__"].tobytes()).decode("utf-8"))
+        keys = sorted(k for k in data.files if k.startswith("w"))
+        weights = [data[k] for k in keys]
+    model = model_from_dict(config)
+    model.set_weights(weights)
+    return model

@@ -1,0 +1,198 @@
+"""Training loop, history and callbacks.
+
+The paper's Tool 4 runs unattended multi-topology training jobs; the
+callback hooks here (epoch begin/end, early stopping, best-weights
+restoration) are what the automated training service in
+:mod:`repro.core.training_service` builds on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "History",
+    "Callback",
+    "EarlyStopping",
+    "TrainingLogger",
+    "run_training_loop",
+]
+
+
+class History:
+    """Per-epoch metric record returned by ``Sequential.fit``."""
+
+    def __init__(self):
+        self.epochs: List[int] = []
+        self.history: Dict[str, List[float]] = {}
+
+    def record(self, epoch: int, metrics: Dict[str, float]) -> None:
+        self.epochs.append(epoch)
+        for key, value in metrics.items():
+            self.history.setdefault(key, []).append(float(value))
+
+    def best(self, metric: str = "val_loss", mode: str = "min") -> Tuple[int, float]:
+        """Return (epoch, value) of the best recorded value of ``metric``."""
+        values = self.history.get(metric)
+        if not values:
+            raise KeyError(f"metric {metric!r} was never recorded")
+        arr = np.asarray(values)
+        idx = int(np.argmin(arr) if mode == "min" else np.argmax(arr))
+        return self.epochs[idx], float(arr[idx])
+
+    def __getitem__(self, key: str) -> List[float]:
+        return self.history[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.history
+
+
+class Callback:
+    """Base callback; all hooks are optional."""
+
+    def set_model(self, model) -> None:
+        self.model = model
+
+    def on_train_begin(self) -> None: ...
+
+    def on_epoch_begin(self, epoch: int) -> None: ...
+
+    def on_epoch_end(self, epoch: int, metrics: Dict[str, float]) -> None: ...
+
+    def on_train_end(self) -> None: ...
+
+    @property
+    def stop_training(self) -> bool:
+        return getattr(self, "_stop", False)
+
+
+class EarlyStopping(Callback):
+    """Stop when ``monitor`` has not improved for ``patience`` epochs.
+
+    With ``restore_best_weights=True`` the model is rolled back to its best
+    epoch — this mirrors the paper's NMR procedure of selecting "the network
+    with the best performance on the experimental validation dataset".
+    """
+
+    def __init__(
+        self,
+        monitor: str = "val_loss",
+        patience: int = 10,
+        min_delta: float = 0.0,
+        restore_best_weights: bool = False,
+    ):
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.restore_best_weights = bool(restore_best_weights)
+        self.best_value = np.inf
+        self.best_epoch = -1
+        self._best_weights = None
+        self._wait = 0
+        self._stop = False
+
+    def on_train_begin(self):
+        self.best_value = np.inf
+        self.best_epoch = -1
+        self._best_weights = None
+        self._wait = 0
+        self._stop = False
+
+    def on_epoch_end(self, epoch, metrics):
+        value = metrics.get(self.monitor)
+        if value is None:
+            return
+        if value < self.best_value - self.min_delta:
+            self.best_value = value
+            self.best_epoch = epoch
+            self._wait = 0
+            if self.restore_best_weights:
+                self._best_weights = self.model.get_weights()
+        else:
+            self._wait += 1
+            if self._wait > self.patience:
+                self._stop = True
+
+    def on_train_end(self):
+        if self.restore_best_weights and self._best_weights is not None:
+            self.model.set_weights(self._best_weights)
+
+
+class TrainingLogger(Callback):
+    """Print one line per epoch (opt-in; fit(verbose=True) adds one too)."""
+
+    def __init__(self, every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+
+    def on_epoch_end(self, epoch, metrics):
+        if epoch % self.every == 0:
+            parts = ", ".join(f"{k}={v:.6f}" for k, v in metrics.items())
+            print(f"epoch {epoch:4d}: {parts}")
+
+
+def run_training_loop(
+    model,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int,
+    batch_size: int,
+    validation_data: Optional[Tuple[np.ndarray, np.ndarray]],
+    shuffle: bool,
+    callbacks: List[Callback],
+    seed: Optional[int],
+    verbose: bool,
+) -> History:
+    """Drive epochs/batches for ``Sequential.fit``."""
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+        )
+    if x.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+
+    rng = np.random.default_rng(seed)
+    history = History()
+    for callback in callbacks:
+        callback.set_model(model)
+        callback.on_train_begin()
+
+    n = x.shape[0]
+    for epoch in range(1, epochs + 1):
+        for callback in callbacks:
+            callback.on_epoch_begin(epoch)
+        start = time.perf_counter()
+        order = rng.permutation(n) if shuffle else np.arange(n)
+        epoch_loss = 0.0
+        for i in range(0, n, batch_size):
+            batch = order[i : i + batch_size]
+            epoch_loss += model.train_on_batch(x[batch], y[batch]) * len(batch)
+        metrics = {"loss": epoch_loss / n}
+        if validation_data is not None:
+            vx, vy = validation_data
+            metrics["val_loss"] = model.evaluate(vx, vy)
+        metrics["epoch_seconds"] = time.perf_counter() - start
+        history.record(epoch, metrics)
+        if verbose:
+            parts = ", ".join(f"{k}={v:.6f}" for k, v in metrics.items())
+            print(f"epoch {epoch:4d}/{epochs}: {parts}")
+        stop = False
+        for callback in callbacks:
+            callback.on_epoch_end(epoch, metrics)
+            stop = stop or callback.stop_training
+        if stop:
+            break
+
+    for callback in callbacks:
+        callback.on_train_end()
+    return history

@@ -1,0 +1,110 @@
+"""Unit tests for LSTM plateau augmentation and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.core.augmentation import plateau_time_series, sliding_windows
+
+
+def _source(n=20, length=8, outputs=2, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, length))
+    y = rng.random((n, outputs))
+    return x, y
+
+
+class TestPlateauTimeSeries:
+    def test_output_shapes(self):
+        x, y = _source()
+        xs, ys = plateau_time_series(x, y, 100, np.random.default_rng(0))
+        assert xs.shape == (100, 8)
+        assert ys.shape == (100, 2)
+
+    def test_frames_come_from_source(self):
+        x, y = _source()
+        xs, _ = plateau_time_series(x, y, 50, np.random.default_rng(1))
+        for frame in xs[:10]:
+            assert any(np.array_equal(frame, row) for row in x)
+
+    def test_contains_plateaus(self):
+        """Consecutive identical frames must occur (repeats up to 20)."""
+        x, y = _source()
+        xs, _ = plateau_time_series(
+            x, y, 200, np.random.default_rng(2), min_repeats=3, max_repeats=10
+        )
+        repeats = sum(
+            1 for i in range(199) if np.array_equal(xs[i], xs[i + 1])
+        )
+        assert repeats > 100
+
+    def test_label_follows_frame(self):
+        x, y = _source()
+        xs, ys = plateau_time_series(x, y, 60, np.random.default_rng(3))
+        for frame, label in zip(xs[:20], ys[:20]):
+            source = next(
+                i for i, row in enumerate(x) if np.array_equal(frame, row)
+            )
+            np.testing.assert_array_equal(label, y[source])
+
+    def test_renoise_hook_applied(self):
+        x, y = _source()
+
+        def renoise(frame, rng):
+            return frame + 100.0
+
+        xs, _ = plateau_time_series(
+            x, y, 10, np.random.default_rng(4), renoise=renoise
+        )
+        assert xs.min() >= 100.0
+
+    def test_validation(self):
+        x, y = _source()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            plateau_time_series(x, y, 0, rng)
+        with pytest.raises(ValueError):
+            plateau_time_series(x, y, 10, rng, min_repeats=5, max_repeats=2)
+        with pytest.raises(ValueError):
+            plateau_time_series(x[:0], y[:0], 10, rng)
+
+    def test_reproducible(self):
+        x, y = _source()
+        a, _ = plateau_time_series(x, y, 40, np.random.default_rng(7))
+        b, _ = plateau_time_series(x, y, 40, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSlidingWindows:
+    def test_shapes(self):
+        x_seq = np.arange(50.0).reshape(10, 5)
+        y_seq = np.arange(20.0).reshape(10, 2)
+        xw, yw = sliding_windows(x_seq, y_seq, 4)
+        assert xw.shape == (7, 4, 5)
+        assert yw.shape == (7, 2)
+
+    def test_window_contents_and_label_alignment(self):
+        x_seq = np.arange(12.0).reshape(6, 2)
+        y_seq = np.arange(6.0).reshape(6, 1)
+        xw, yw = sliding_windows(x_seq, y_seq, 3)
+        np.testing.assert_array_equal(xw[0], x_seq[0:3])
+        np.testing.assert_array_equal(xw[-1], x_seq[3:6])
+        # Label is the last timestep of each window.
+        np.testing.assert_array_equal(yw[:, 0], [2.0, 3.0, 4.0, 5.0])
+
+    def test_window_equal_to_series_length(self):
+        x_seq = np.ones((5, 3))
+        y_seq = np.ones((5, 1))
+        xw, yw = sliding_windows(x_seq, y_seq, 5)
+        assert xw.shape == (1, 5, 3)
+
+    def test_windows_are_writable(self):
+        xw, _ = sliding_windows(np.ones((6, 2)), np.ones((6, 1)), 3)
+        xw[0, 0, 0] = 42.0  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.ones((5, 2)), np.ones((5, 1)), 0)
+        with pytest.raises(ValueError):
+            sliding_windows(np.ones((3, 2)), np.ones((3, 1)), 4)
+        with pytest.raises(ValueError):
+            sliding_windows(np.ones((5, 2)), np.ones((4, 1)), 2)

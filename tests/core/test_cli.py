@@ -1,0 +1,95 @@
+"""Unit tests for the command-line toolchain."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def ms_dataset(tmp_path):
+    path = tmp_path / "ms.npz"
+    code = main([
+        "ms-generate", "--compounds", "N2,O2,Ar", "--n", "200",
+        "--mz-step", "0.5", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestMsGenerate:
+    def test_writes_dataset(self, ms_dataset):
+        with np.load(ms_dataset) as data:
+            assert data["x"].shape[0] == 200
+            assert data["y"].shape == (200, 3)
+
+    def test_seed_reproducibility(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        for path in (a, b):
+            main(["ms-generate", "--n", "20", "--seed", "7",
+                  "--mz-step", "0.5", "--out", str(path)])
+        with np.load(a) as da, np.load(b) as db:
+            np.testing.assert_array_equal(da["x"], db["x"])
+
+
+class TestTrainEvaluate:
+    def test_train_then_evaluate(self, ms_dataset, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        code = main([
+            "train", "--data", str(ms_dataset), "--topology", "mlp",
+            "--epochs", "3", "--out", str(model_path),
+        ])
+        assert code == 0
+        assert model_path.exists()
+        code = main([
+            "evaluate", "--model", str(model_path), "--data", str(ms_dataset),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MAE" in output
+        assert "N2" in output
+
+    def test_unknown_topology_rejected(self, ms_dataset, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--data", str(ms_dataset),
+                  "--topology", "transformer", "--out", str(tmp_path / "m.npz")])
+
+
+class TestTable2:
+    def test_prints_four_platforms(self, ms_dataset, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        main(["train", "--data", str(ms_dataset), "--topology", "mlp",
+              "--epochs", "1", "--out", str(model_path)])
+        capsys.readouterr()
+        code = main(["table2", "--model", str(model_path),
+                     "--samples", "1000"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("Nano (CPU)", "Nano (GPU)", "TX2 (CPU)", "TX2 (GPU)"):
+            assert name in output
+
+
+class TestNmrCampaign:
+    def test_campaign_written(self, tmp_path, capsys):
+        path = tmp_path / "campaign.npz"
+        code = main(["nmr-campaign", "--spectra-per-plateau", "2",
+                     "--out", str(path)])
+        assert code == 0
+        with np.load(path) as data:
+            assert data["x"].shape == (54, 1700)  # 27 plateaus x 2
+            assert data["y"].shape == (54, 4)
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_lists_commands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        for command in ("ms-generate", "train", "evaluate", "table2",
+                        "nmr-campaign"):
+            assert command in output

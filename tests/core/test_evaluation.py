@@ -1,0 +1,102 @@
+"""Unit tests for evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    evaluate_per_compound,
+    measurements_to_arrays,
+    plateau_standard_deviation,
+)
+from repro.ms.spectrum import MassSpectrum, MzAxis
+
+
+class TestPerCompound:
+    def test_values(self):
+        pred = np.array([[0.5, 0.5], [0.2, 0.8]])
+        target = np.array([[0.4, 0.6], [0.2, 0.8]])
+        report = evaluate_per_compound(pred, target, ["A", "B"])
+        assert report["A"] == pytest.approx(0.05)
+        assert report["B"] == pytest.approx(0.05)
+        assert report["mean"] == pytest.approx(0.05)
+
+    def test_mean_is_average_of_compounds(self):
+        rng = np.random.default_rng(0)
+        pred, target = rng.random((10, 4)), rng.random((10, 4))
+        report = evaluate_per_compound(pred, target, list("ABCD"))
+        assert report["mean"] == pytest.approx(
+            np.mean([report[c] for c in "ABCD"])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            evaluate_per_compound(np.zeros((2, 3)), np.zeros((3, 2)), ["a"] * 3)
+        with pytest.raises(ValueError, match="names"):
+            evaluate_per_compound(np.zeros((2, 3)), np.zeros((2, 3)), ["a"])
+
+
+class TestMeasurementsToArrays:
+    def _measurement(self, axis, value=1.0):
+        intensities = np.zeros(axis.size)
+        intensities[axis.size // 2] = value
+        return MassSpectrum(axis, intensities), {"N2": 0.7, "O2": 0.3}
+
+    def test_basic_conversion(self):
+        axis = MzAxis(1.0, 10.0, 0.5)
+        x, y = measurements_to_arrays(
+            [self._measurement(axis)], ["N2", "O2", "Ar"], axis
+        )
+        assert x.shape == (1, axis.size)
+        np.testing.assert_array_equal(y[0], [0.7, 0.3, 0.0])
+
+    def test_normalization_applied(self):
+        axis = MzAxis(1.0, 10.0, 0.5)
+        x, _ = measurements_to_arrays(
+            [self._measurement(axis, value=42.0)], ["N2", "O2"], axis
+        )
+        assert x.max() == pytest.approx(1.0)
+
+    def test_case_insensitive_label_matching(self):
+        axis = MzAxis(1.0, 10.0, 0.5)
+        spectrum, _ = self._measurement(axis)
+        x, y = measurements_to_arrays(
+            [(spectrum, {"n2": 0.9, "o2": 0.1})], ["N2", "O2"], axis
+        )
+        np.testing.assert_array_equal(y[0], [0.9, 0.1])
+
+    def test_resampling_when_axes_differ(self):
+        source_axis = MzAxis(1.0, 10.0, 0.25)
+        target_axis = MzAxis(1.0, 10.0, 0.5)
+        spectrum, labels = self._measurement(source_axis)
+        x, _ = measurements_to_arrays([(spectrum, labels)], ["N2"], target_axis)
+        assert x.shape == (1, target_axis.size)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            measurements_to_arrays([], ["N2"], MzAxis())
+
+
+class TestPlateauStd:
+    def test_constant_prediction_has_zero_std(self):
+        pred = np.ones((6, 2))
+        ids = np.array([0, 0, 0, 1, 1, 1])
+        assert plateau_standard_deviation(pred, ids) == 0.0
+
+    def test_known_value(self):
+        pred = np.array([[0.0], [2.0], [10.0], [10.0]])
+        ids = np.array([0, 0, 1, 1])
+        # Plateau 0: std 1.0; plateau 1: std 0 -> mean 0.5.
+        assert plateau_standard_deviation(pred, ids) == pytest.approx(0.5)
+
+    def test_single_sample_plateaus_skipped(self):
+        pred = np.array([[0.0], [5.0], [7.0]])
+        ids = np.array([0, 1, 1])
+        assert plateau_standard_deviation(pred, ids) == pytest.approx(1.0)
+
+    def test_all_singletons_raise(self):
+        with pytest.raises(ValueError, match="at least two"):
+            plateau_standard_deviation(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            plateau_standard_deviation(np.zeros((3, 1)), np.array([0, 1]))

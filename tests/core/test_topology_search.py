@@ -1,0 +1,103 @@
+"""Unit tests for the explorative topology search."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import SpectraDataset
+from repro.core.topology_search import (
+    ConvBlock,
+    ExplorativeSearch,
+    _output_length,
+    _spec_from_blocks,
+)
+from repro.core.training_service import TrainingConfig
+
+
+def _toy_dataset(n=300, length=60, outputs=3, seed=0):
+    """Spectra-like data: labels are linear in a few 'peak heights'."""
+    rng = np.random.default_rng(seed)
+    y = rng.dirichlet(np.ones(outputs), size=n)
+    base = rng.random((outputs, length))
+    x = y @ base + rng.normal(0.0, 0.01, size=(n, length))
+    return SpectraDataset(x, y, tuple(f"c{i}" for i in range(outputs)))
+
+
+class TestHelpers:
+    def test_conv_block_validation(self):
+        with pytest.raises(ValueError):
+            ConvBlock(0, 3, 1)
+        with pytest.raises(ValueError):
+            ConvBlock(4, 3, 0)
+
+    def test_output_length(self):
+        blocks = (ConvBlock(4, 20, 2), ConvBlock(4, 10, 2))
+        # (100-20)//2+1 = 41; (41-10)//2+1 = 16
+        assert _output_length(100, blocks) == 16
+
+    def test_output_length_zero_when_too_deep(self):
+        blocks = (ConvBlock(4, 50, 1), ConvBlock(4, 60, 1))
+        assert _output_length(100, blocks) == 0
+
+    def test_spec_from_blocks_structure(self):
+        spec = _spec_from_blocks(
+            (ConvBlock(8, 5, 2),), 3, "selu", "softmax"
+        )
+        classes = [entry["class"] for entry in spec.layers]
+        assert classes == ["Reshape", "Conv1D", "Flatten", "Dense"]
+        model = spec.build((60,))
+        assert model.layers[-1].output_shape == (3,)
+
+
+class TestSearch:
+    def test_search_improves_over_rounds_and_returns_best(self):
+        search = ExplorativeSearch(
+            n_outputs=3, input_length=60, target_mae=1e-6,  # unreachably low
+            config=TrainingConfig(epochs=3, batch_size=32),
+            max_rounds=2, candidates_per_round=2, seed=0,
+        )
+        result = search.run(_toy_dataset())
+        assert result.best_spec is not None
+        assert np.isfinite(result.best_metric)
+        assert len(result.history) >= 1
+        assert not result.target_reached
+        # The returned metric is the best metric in the history.
+        assert result.best_metric == min(h["val_mae"] for h in result.history)
+
+    def test_search_stops_early_when_target_met(self):
+        search = ExplorativeSearch(
+            n_outputs=3, input_length=60, target_mae=0.5,  # trivially easy
+            config=TrainingConfig(epochs=2, batch_size=32),
+            max_rounds=4, candidates_per_round=2, seed=0,
+        )
+        result = search.run(_toy_dataset())
+        assert result.target_reached
+        assert result.rounds == 1
+
+    def test_mutations_respect_input_length(self):
+        search = ExplorativeSearch(
+            n_outputs=3, input_length=30,
+            config=TrainingConfig(epochs=1), seed=1,
+        )
+        proposals = search._mutations((ConvBlock(8, 20, 2),))
+        for blocks in proposals:
+            assert _output_length(30, blocks) > 0
+
+    def test_wrong_dataset_shape_rejected(self):
+        search = ExplorativeSearch(n_outputs=3, input_length=99)
+        with pytest.raises(ValueError, match="input shape"):
+            search.run(_toy_dataset(length=60))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ExplorativeSearch(3, 60, target_mae=0.0)
+        with pytest.raises(ValueError):
+            ExplorativeSearch(3, 60, max_rounds=0)
+
+    def test_progress_callback_sees_candidates(self):
+        messages = []
+        search = ExplorativeSearch(
+            n_outputs=3, input_length=60, target_mae=0.5,
+            config=TrainingConfig(epochs=1), seed=0,
+        )
+        search.run(_toy_dataset(), progress=messages.append)
+        assert messages and all("cnn_" in m for m in messages)

@@ -1,0 +1,115 @@
+"""Unit tests for the unattended training service."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import SpectraDataset
+from repro.core.topologies import TopologySpec, mlp_topology
+from repro.core.training_service import TrainingConfig, TrainingService
+from repro.db.provenance import ProvenanceTracker
+
+
+def _dataset(n=120, length=12, outputs=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, length))
+    weights = rng.random((length, outputs))
+    y = x @ weights
+    y = y / y.sum(axis=1, keepdims=True)
+    return SpectraDataset(x, y, tuple(f"c{i}" for i in range(outputs)))
+
+
+def _specs():
+    return [
+        mlp_topology(3, hidden_units=(16,)),
+        mlp_topology(3, hidden_units=(8, 8)),
+    ]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(train_fraction=1.0)
+
+
+class TestTrainAll:
+    def test_trains_every_topology(self):
+        service = TrainingService(TrainingConfig(epochs=3))
+        runs = service.train_all(_specs(), _dataset())
+        assert len(runs) == 2
+        for run in runs:
+            assert "val_mae" in run.metrics
+            assert run.epochs_run >= 1
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        service = TrainingService(TrainingConfig(epochs=2))
+        service.train_all(_specs(), _dataset(), progress=messages.append)
+        assert len(messages) == 2
+        assert "mlp_16" in messages[0]
+
+    def test_evaluation_data_scored_as_measured(self):
+        service = TrainingService(TrainingConfig(epochs=2))
+        runs = service.train_all(_specs(), _dataset(), evaluation_data=_dataset(seed=9))
+        for run in runs:
+            assert "measured_mae" in run.metrics
+            assert "measured_mse" in run.metrics
+
+    def test_duplicate_names_rejected(self):
+        spec = mlp_topology(3, hidden_units=(16,))
+        with pytest.raises(ValueError, match="duplicate"):
+            TrainingService(TrainingConfig(epochs=1)).train_all(
+                [spec, spec], _dataset()
+            )
+
+    def test_empty_topologies_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingService().train_all([], _dataset())
+
+    def test_provenance_recorded_with_parent(self):
+        tracker = ProvenanceTracker()
+        dataset_id = tracker.record("dataset", {"n": 120})
+        service = TrainingService(TrainingConfig(epochs=2), provenance=tracker)
+        runs = service.train_all(_specs(), _dataset(), dataset_artifact=dataset_id)
+        for run in runs:
+            assert run.artifact_id is not None
+            assert tracker.ancestors(run.artifact_id) == [dataset_id]
+
+
+class TestSelectionAndExport:
+    def test_select_best_min(self):
+        service = TrainingService(TrainingConfig(epochs=3))
+        service.train_all(_specs(), _dataset())
+        best = service.select_best("val_mae")
+        assert best.metrics["val_mae"] == min(
+            run.metrics["val_mae"] for run in service.runs
+        )
+
+    def test_select_best_max_mode(self):
+        service = TrainingService(TrainingConfig(epochs=3))
+        service.train_all(_specs(), _dataset())
+        best = service.select_best("val_r2", mode="max")
+        assert best.metrics["val_r2"] == max(
+            run.metrics["val_r2"] for run in service.runs
+        )
+
+    def test_select_before_training_raises(self):
+        with pytest.raises(RuntimeError):
+            TrainingService().select_best()
+
+    def test_select_unknown_metric_raises(self):
+        service = TrainingService(TrainingConfig(epochs=1))
+        service.train_all(_specs()[:1], _dataset())
+        with pytest.raises(KeyError):
+            service.select_best("bleu_score")
+
+    def test_export_rows(self):
+        service = TrainingService(TrainingConfig(epochs=2))
+        service.train_all(_specs(), _dataset())
+        rows = service.export_results()
+        assert len(rows) == 2
+        for row in rows:
+            assert {"topology", "parameters", "epochs_run", "val_mae"} <= set(row)

@@ -1,0 +1,165 @@
+"""Unit tests for the embedded document store."""
+
+import pytest
+
+from repro.db.document_store import Collection, DocumentStore
+
+
+class TestInsert:
+    def test_insert_assigns_sequential_ids(self):
+        coll = Collection("x")
+        assert coll.insert({"a": 1}) == 1
+        assert coll.insert({"a": 2}) == 2
+
+    def test_insert_copies_document(self):
+        coll = Collection("x")
+        doc = {"a": 1}
+        coll.insert(doc)
+        doc["a"] = 99
+        assert coll.find_one({})["a"] == 1
+
+    def test_preset_id_rejected(self):
+        with pytest.raises(ValueError, match="_id"):
+            Collection("x").insert({"_id": 5})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TypeError):
+            Collection("x").insert([1, 2])
+
+    def test_insert_many(self):
+        coll = Collection("x")
+        ids = coll.insert_many([{"a": 1}, {"a": 2}, {"a": 3}])
+        assert ids == [1, 2, 3]
+        assert len(coll) == 3
+
+
+class TestQueries:
+    def _collection(self):
+        coll = Collection("runs")
+        coll.insert({"kind": "net", "mae": 0.015, "meta": {"act": "selu"}})
+        coll.insert({"kind": "net", "mae": 0.031, "meta": {"act": "relu"}})
+        coll.insert({"kind": "sim", "samples": 25})
+        return coll
+
+    def test_bare_value_is_equality(self):
+        assert len(self._collection().find({"kind": "net"})) == 2
+
+    def test_dotted_path(self):
+        docs = self._collection().find({"meta.act": "selu"})
+        assert len(docs) == 1
+        assert docs[0]["mae"] == 0.015
+
+    def test_comparison_operators(self):
+        coll = self._collection()
+        assert len(coll.find({"mae": {"$lt": 0.02}})) == 1
+        assert len(coll.find({"mae": {"$gte": 0.015}})) == 2
+        assert len(coll.find({"mae": {"$gt": 0.031}})) == 0
+
+    def test_in_and_ne(self):
+        coll = self._collection()
+        assert len(coll.find({"kind": {"$in": ["net", "sim"]}})) == 3
+        assert len(coll.find({"kind": {"$ne": "net"}})) == 1
+
+    def test_exists(self):
+        coll = self._collection()
+        assert len(coll.find({"samples": {"$exists": True}})) == 1
+        assert len(coll.find({"samples": {"$exists": False}})) == 2
+
+    def test_missing_field_never_matches_comparison(self):
+        coll = self._collection()
+        assert coll.find({"samples": {"$gt": 0}})[0]["kind"] == "sim"
+        assert len(coll.find({"nonexistent": {"$gt": 0}})) == 0
+
+    def test_incomparable_types_do_not_match(self):
+        coll = Collection("x")
+        coll.insert({"v": "string"})
+        assert coll.find({"v": {"$gt": 3}}) == []
+
+    def test_find_one_and_none(self):
+        coll = self._collection()
+        assert coll.find_one({"kind": "sim"})["samples"] == 25
+        assert coll.find_one({"kind": "zzz"}) is None
+
+    def test_count_and_distinct(self):
+        coll = self._collection()
+        assert coll.count() == 3
+        assert coll.count({"kind": "net"}) == 2
+        assert coll.distinct("kind") == ["net", "sim"]
+
+    def test_find_returns_copies(self):
+        coll = self._collection()
+        doc = coll.find_one({"kind": "sim"})
+        doc["samples"] = 999
+        assert coll.find_one({"kind": "sim"})["samples"] == 25
+
+
+class TestMutation:
+    def test_update_one(self):
+        coll = Collection("x")
+        coll.insert({"a": 1})
+        assert coll.update_one({"a": 1}, {"a": 2, "b": 3})
+        assert coll.find_one({})["a"] == 2
+        assert coll.find_one({})["b"] == 3
+
+    def test_update_missing_returns_false(self):
+        assert not Collection("x").update_one({"a": 1}, {"a": 2})
+
+    def test_update_id_rejected(self):
+        coll = Collection("x")
+        coll.insert({"a": 1})
+        with pytest.raises(ValueError):
+            coll.update_one({"a": 1}, {"_id": 99})
+
+    def test_delete(self):
+        coll = Collection("x")
+        coll.insert_many([{"a": 1}, {"a": 1}, {"a": 2}])
+        assert coll.delete({"a": 1}) == 2
+        assert len(coll) == 1
+
+
+class TestStore:
+    def test_collection_lazily_created(self):
+        store = DocumentStore()
+        coll = store.collection("nets")
+        assert store.collection("nets") is coll
+        assert store.collection_names == ["nets"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentStore().collection("")
+
+    def test_drop(self):
+        store = DocumentStore()
+        store.collection("tmp")
+        store.drop("tmp")
+        assert store.collection_names == []
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = DocumentStore(path)
+        store.collection("nets").insert({"mae": 0.01, "meta": {"act": "selu"}})
+        store.save()
+        reloaded = DocumentStore(path)
+        doc = reloaded.collection("nets").find_one({"meta.act": "selu"})
+        assert doc["mae"] == 0.01
+
+    def test_ids_continue_after_reload(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = DocumentStore(path)
+        store.collection("x").insert({"a": 1})
+        store.save()
+        reloaded = DocumentStore(path)
+        assert reloaded.collection("x").insert({"a": 2}) == 2
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            DocumentStore().save()
+
+    def test_empty_existing_file_treated_as_new_store(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.touch()
+        store = DocumentStore(path)
+        assert store.collection_names == []
+        store.collection("x").insert({"a": 1})
+        store.save()
+        assert DocumentStore(path).collection("x").count() == 1

@@ -1,0 +1,84 @@
+"""Property-based tests for the document store."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.document_store import Collection
+
+settings.register_profile("repro_db", deadline=None, max_examples=30)
+settings.load_profile("repro_db")
+
+keys = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5)
+values = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.floats(min_value=-10, max_value=10, allow_nan=False),
+    st.text(alphabet=string.ascii_lowercase, max_size=5),
+    st.booleans(),
+)
+documents = st.lists(
+    st.dictionaries(keys, values, max_size=4), min_size=0, max_size=12
+)
+
+
+def _fill(docs):
+    collection = Collection("c")
+    collection.insert_many(docs)
+    return collection
+
+
+class TestQueryProperties:
+    @given(documents)
+    def test_empty_query_returns_everything(self, docs):
+        collection = _fill(docs)
+        assert len(collection.find({})) == len(docs)
+
+    @given(documents, keys, values)
+    def test_equality_query_matches_manual_filter(self, docs, key, value):
+        collection = _fill(docs)
+        found = collection.find({key: value})
+        expected = [d for d in docs if key in d and d[key] == value]
+        assert len(found) == len(expected)
+
+    @given(documents, keys)
+    def test_exists_partitions_collection(self, docs, key):
+        collection = _fill(docs)
+        has = collection.count({key: {"$exists": True}})
+        lacks = collection.count({key: {"$exists": False}})
+        assert has + lacks == len(docs)
+
+    @given(documents, keys, st.integers(min_value=-100, max_value=100))
+    def test_gt_lte_partition(self, docs, key, threshold):
+        collection = _fill(docs)
+        above = collection.count({key: {"$gt": threshold}})
+        at_or_below = collection.count({key: {"$lte": threshold}})
+        comparable = sum(
+            1 for d in docs
+            if key in d and isinstance(d[key], (int, float))
+            and not isinstance(d[key], bool) or
+            (key in d and isinstance(d[key], bool))
+        )
+        # Everything comparable falls on exactly one side; incomparable
+        # values match neither.
+        assert above + at_or_below <= len(docs)
+
+    @given(documents)
+    def test_ids_unique_and_dense(self, docs):
+        collection = _fill(docs)
+        ids = [d["_id"] for d in collection.find({})]
+        assert len(set(ids)) == len(ids)
+        assert all(isinstance(i, int) for i in ids)
+
+    @given(documents, keys, values)
+    def test_delete_then_count_zero(self, docs, key, value):
+        collection = _fill(docs)
+        deleted = collection.delete({key: value})
+        assert collection.count({key: value}) == 0
+        assert len(collection) == len(docs) - deleted
+
+    @given(documents)
+    def test_roundtrip_serialization_preserves_queries(self, docs):
+        collection = _fill(docs)
+        clone = Collection.from_dict(collection.to_dict())
+        assert clone.find({}) == collection.find({})

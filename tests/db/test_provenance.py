@@ -1,0 +1,97 @@
+"""Unit tests for provenance tracking."""
+
+import pytest
+
+from repro.db.document_store import DocumentStore
+from repro.db.provenance import ProvenanceTracker
+
+
+def _toolchain_graph():
+    """Build the paper's typical lineage:
+    measurements -> simulator -> dataset -> network."""
+    tracker = ProvenanceTracker()
+    measurements = tracker.record(
+        "measurement_series", {"mixtures": 14, "samples_per_mixture": 25}
+    )
+    simulator = tracker.record("simulator", {"tool": 2}, parents=[measurements])
+    dataset = tracker.record(
+        "dataset", {"n": 100_000, "split": "80/20"}, parents=[simulator]
+    )
+    network = tracker.record(
+        "network", {"activation": "selu", "mae": 0.0015}, parents=[dataset]
+    )
+    return tracker, measurements, simulator, dataset, network
+
+
+class TestRecord:
+    def test_record_and_get(self):
+        tracker = ProvenanceTracker()
+        artifact = tracker.record("dataset", {"n": 10})
+        doc = tracker.get(artifact)
+        assert doc["kind"] == "dataset"
+        assert doc["metadata"] == {"n": 10}
+        assert doc["parents"] == []
+
+    def test_missing_parent_rejected(self):
+        tracker = ProvenanceTracker()
+        with pytest.raises(KeyError, match="parent"):
+            tracker.record("dataset", parents=[99])
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ProvenanceTracker().record("")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            ProvenanceTracker().get(1)
+
+    def test_uses_supplied_store(self):
+        store = DocumentStore()
+        tracker = ProvenanceTracker(store)
+        tracker.record("x")
+        assert store.collection("artifacts").count() == 1
+
+
+class TestFind:
+    def test_find_by_kind(self):
+        tracker, *_ = _toolchain_graph()
+        assert len(tracker.find("network")) == 1
+        assert len(tracker.find("nonexistent")) == 0
+
+    def test_find_by_metadata(self):
+        tracker, *_ = _toolchain_graph()
+        docs = tracker.find("network", activation="selu")
+        assert len(docs) == 1
+        assert tracker.find("network", activation="relu") == []
+
+
+class TestLineage:
+    def test_ancestors_walk_the_full_chain(self):
+        tracker, measurements, simulator, dataset, network = _toolchain_graph()
+        assert tracker.ancestors(network) == [dataset, simulator, measurements]
+
+    def test_root_has_no_ancestors(self):
+        tracker, measurements, *_ = _toolchain_graph()
+        assert tracker.ancestors(measurements) == []
+
+    def test_descendants(self):
+        tracker, measurements, simulator, dataset, network = _toolchain_graph()
+        assert tracker.descendants(measurements) == [simulator, dataset, network]
+        assert tracker.descendants(network) == []
+
+    def test_diamond_graph_deduplicated(self):
+        tracker = ProvenanceTracker()
+        root = tracker.record("measurements")
+        left = tracker.record("simulator", parents=[root])
+        right = tracker.record("noise_model", parents=[root])
+        merged = tracker.record("dataset", parents=[left, right])
+        ancestors = tracker.ancestors(merged)
+        assert sorted(ancestors) == sorted([left, right, root])
+        assert len(ancestors) == 3  # root appears once
+
+    def test_lineage_report_mentions_every_ancestor(self):
+        tracker, measurements, simulator, dataset, network = _toolchain_graph()
+        report = tracker.lineage_report(network)
+        for artifact_id in (measurements, simulator, dataset, network):
+            assert f"[{artifact_id}]" in report
+        assert "measurement_series" in report

@@ -1,0 +1,92 @@
+"""Cost-model behaviour across batch sizes and network shapes."""
+
+import pytest
+
+from repro import nn
+from repro.embedded.cost_model import InferenceCostModel
+from repro.embedded.platforms import TABLE2_PLATFORMS
+
+
+def _small_net():
+    model = nn.Sequential(
+        [nn.Reshape((-1, 1)), nn.Conv1D(8, 9, strides=3, activation="relu"),
+         nn.Flatten(), nn.Dense(4, activation="softmax")]
+    )
+    model.build((300,), seed=0)
+    return model
+
+
+class TestBatching:
+    def test_larger_batches_amortize_gpu_overhead(self):
+        """Kernel-launch overhead per batch makes small batches expensive
+        on the GPU — the reason embedded inference pipelines batch."""
+        model = _small_net()
+        gpu = InferenceCostModel(TABLE2_PLATFORMS["nano_gpu"])
+        small = gpu.estimate(model, 4096, batch_size=1)
+        large = gpu.estimate(model, 4096, batch_size=256)
+        assert small.execution_time_s > large.execution_time_s
+
+    def test_batching_matters_less_on_cpu(self):
+        """CPU dispatch overhead is far smaller, so the batch-1 penalty is
+        milder than on the GPU."""
+        model = _small_net()
+        cpu = InferenceCostModel(TABLE2_PLATFORMS["nano_cpu"])
+        gpu = InferenceCostModel(TABLE2_PLATFORMS["nano_gpu"])
+        cpu_penalty = (
+            cpu.estimate(model, 4096, batch_size=1).execution_time_s
+            / cpu.estimate(model, 4096, batch_size=256).execution_time_s
+        )
+        gpu_penalty = (
+            gpu.estimate(model, 4096, batch_size=1).execution_time_s
+            / gpu.estimate(model, 4096, batch_size=256).execution_time_s
+        )
+        assert gpu_penalty > cpu_penalty
+
+    def test_batch1_gpu_can_lose_to_cpu(self):
+        """At batch size 1 a tiny network is overhead-dominated: the GPU
+        advantage shrinks dramatically (or inverts), which is why the
+        paper's streaming use case still batches spectra."""
+        model = _small_net()
+        cpu = InferenceCostModel(TABLE2_PLATFORMS["nano_cpu"])
+        gpu = InferenceCostModel(TABLE2_PLATFORMS["nano_gpu"])
+        speedup_batch1 = (
+            cpu.estimate(model, 1024, batch_size=1).execution_time_s
+            / gpu.estimate(model, 1024, batch_size=1).execution_time_s
+        )
+        speedup_batch256 = (
+            cpu.estimate(model, 1024, batch_size=256).execution_time_s
+            / gpu.estimate(model, 1024, batch_size=256).execution_time_s
+        )
+        assert speedup_batch1 < speedup_batch256
+
+
+class TestNetworkScaling:
+    def test_flops_dominate_for_large_networks(self):
+        """Doubling the filters of a single conv layer doubles its FLOPs
+        and, in the compute-bound regime, its predicted time."""
+        def build(filters):
+            model = nn.Sequential(
+                [nn.Reshape((-1, 1)),
+                 nn.Conv1D(filters, 15, strides=1, activation="relu"),
+                 nn.Flatten(), nn.Dense(4)]
+            )
+            model.build((1000,), seed=0)
+            return model
+
+        cpu = InferenceCostModel(TABLE2_PLATFORMS["tx2_cpu"])
+        t64 = cpu.estimate(build(64), 1024).execution_time_s
+        t128 = cpu.estimate(build(128), 1024).execution_time_s
+        assert t128 / t64 == pytest.approx(2.0, rel=0.25)
+
+    def test_memory_bound_layer_hits_bandwidth_roof(self):
+        """A huge Dense layer at batch 1 moves far more weight bytes than
+        FLOP-time would suggest; the roofline must charge the memory time."""
+        model = nn.Sequential([nn.Dense(4096), nn.Dense(10)])
+        model.build((4096,), seed=0)
+        gpu = TABLE2_PLATFORMS["tx2_gpu"]
+        estimate = InferenceCostModel(gpu).estimate(model, 64, batch_size=1)
+        weight_bytes = model.count_params() * 4
+        pure_memory_seconds = 64 * weight_bytes / (
+            gpu.effective_bandwidth_gbs * 1e9
+        )
+        assert estimate.execution_time_s >= pure_memory_seconds * 0.9

@@ -1,0 +1,68 @@
+"""Unit tests for embedded model export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.embedded.deployment import DeployedModel, export_for_embedded
+
+
+def _model():
+    model = nn.Sequential(
+        [
+            nn.Reshape((-1, 1)),
+            nn.Conv1D(4, 5, strides=2, activation="selu"),
+            nn.Flatten(),
+            nn.Dense(3, activation="softmax"),
+        ]
+    )
+    model.build((40,), seed=0)
+    return model
+
+
+class TestDeployedModel:
+    def test_requires_built_model(self):
+        with pytest.raises(ValueError, match="built"):
+            DeployedModel(nn.Sequential([nn.Dense(2)]))
+
+    def test_float32_predictions_close_to_float64(self):
+        model = _model()
+        deployed = DeployedModel(model)
+        x = np.random.default_rng(0).random((16, 40))
+        assert deployed.precision_loss(x) < 1e-5
+
+    def test_predict_restores_original_weights(self):
+        model = _model()
+        deployed = DeployedModel(model)
+        before = [w.copy() for w in model.get_weights()]
+        deployed.predict(np.random.default_rng(1).random((4, 40)))
+        for a, b in zip(before, model.get_weights()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_estimate_costs_covers_all_platforms(self):
+        costs = DeployedModel(_model()).estimate_costs(1000)
+        assert set(costs) == {"nano_cpu", "nano_gpu", "tx2_cpu", "tx2_gpu"}
+        for est in costs.values():
+            assert est.execution_time_s > 0
+
+
+class TestExport:
+    def test_export_writes_weights_and_manifest(self, tmp_path):
+        paths = export_for_embedded(_model(), tmp_path / "pkg", dataset_size=1000)
+        with open(paths["manifest"], encoding="utf-8") as handle:
+            manifest = json.loads(handle.read())
+        assert manifest["parameters"] == _model().count_params()
+        assert manifest["flops_per_sample"] > 0
+        assert manifest["evaluation"]["dataset_size"] == 1000
+        assert set(manifest["evaluation"]["platforms"]) == {
+            "nano_cpu", "nano_gpu", "tx2_cpu", "tx2_gpu",
+        }
+
+    def test_exported_weights_reload_and_predict(self, tmp_path):
+        model = _model()
+        paths = export_for_embedded(model, tmp_path / "pkg")
+        reloaded = nn.load_model(paths["weights"])
+        x = np.random.default_rng(2).random((4, 40))
+        np.testing.assert_allclose(reloaded.predict(x), model.predict(x))

@@ -1,0 +1,67 @@
+"""Unit tests for the FPGA overlay extension (paper §IV)."""
+
+import pytest
+
+from repro import nn
+from repro.core import nmr_lstm_topology, table1_topology
+from repro.embedded.overlays import (
+    FGPU_SOFT_GPU,
+    FGPU_SPECIALIZED,
+    OverlaySpec,
+    VCGRA_OVERLAY,
+    ZYNQ_ARM_A9,
+    estimate_overlay_speedup,
+)
+from repro.embedded.platforms import PlatformSpec
+
+
+@pytest.fixture(scope="module")
+def conv_net():
+    return table1_topology(14).build((1000,), seed=0)
+
+
+class TestOverlaySpec:
+    def test_affinity_validation(self):
+        with pytest.raises(ValueError, match="affinity"):
+            OverlaySpec(ZYNQ_ARM_A9.platform, affinity={"gemm": 0.0})
+        with pytest.raises(ValueError, match="affinity"):
+            OverlaySpec(ZYNQ_ARM_A9.platform, affinity={"gemm": 1.5})
+
+    def test_estimate_positive_and_linear(self, conv_net):
+        t1 = ZYNQ_ARM_A9.estimate_seconds(conv_net, 1000)
+        t2 = ZYNQ_ARM_A9.estimate_seconds(conv_net, 2000)
+        assert t1 > 0
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    def test_sample_validation(self, conv_net):
+        with pytest.raises(ValueError):
+            ZYNQ_ARM_A9.estimate_seconds(conv_net, 0)
+
+
+class TestPaperClaims:
+    def test_fgpu_speedup_matches_4_2x(self, conv_net):
+        """Ref [20]: ~4.2x speedup over the ARM core for GEMM workloads.
+        The Table-1 net is GEMM-dominated, so the end-to-end speedup should
+        land close to the kernel-level number."""
+        speedup = estimate_overlay_speedup(conv_net, FGPU_SOFT_GPU)
+        assert 3.4 < speedup < 5.0
+
+    def test_specialized_fgpu_two_orders_of_magnitude(self, conv_net):
+        """Ref [19]: specialization pushes the speedup by ~100x."""
+        speedup = estimate_overlay_speedup(conv_net, FGPU_SPECIALIZED)
+        assert 60 < speedup < 140
+
+    def test_vcgra_sits_between(self, conv_net):
+        generic = estimate_overlay_speedup(conv_net, FGPU_SOFT_GPU)
+        vcgra = estimate_overlay_speedup(conv_net, VCGRA_OVERLAY)
+        specialized = estimate_overlay_speedup(conv_net, FGPU_SPECIALIZED)
+        assert generic < vcgra < specialized
+
+    def test_lstm_benefits_less_than_conv(self):
+        """Recurrent kernels map worse onto the soft GPU than GEMMs, so the
+        LSTM model's overlay speedup is below the conv model's."""
+        conv = table1_topology(14).build((1000,), seed=0)
+        lstm = nmr_lstm_topology().build((5, 1700), seed=0)
+        conv_speedup = estimate_overlay_speedup(conv, FGPU_SOFT_GPU)
+        lstm_speedup = estimate_overlay_speedup(lstm, FGPU_SOFT_GPU)
+        assert lstm_speedup < conv_speedup

@@ -1,0 +1,65 @@
+"""Unit tests for platform specs."""
+
+import pytest
+
+from repro.embedded.platforms import (
+    JETSON_NANO_CPU,
+    JETSON_NANO_GPU,
+    JETSON_TX2_CPU,
+    JETSON_TX2_GPU,
+    TABLE2_PLATFORMS,
+    PlatformSpec,
+)
+
+
+class TestSpecs:
+    def test_table2_has_four_platforms(self):
+        assert set(TABLE2_PLATFORMS) == {"nano_cpu", "nano_gpu", "tx2_cpu", "tx2_gpu"}
+
+    def test_gpus_have_more_peak_compute_than_cpus(self):
+        assert JETSON_NANO_GPU.peak_gflops > JETSON_NANO_CPU.peak_gflops
+        assert JETSON_TX2_GPU.peak_gflops > JETSON_TX2_CPU.peak_gflops
+
+    def test_tx2_gpu_has_twice_the_cuda_cores_of_nano(self):
+        assert JETSON_TX2_GPU.cuda_cores == 2 * JETSON_NANO_GPU.cuda_cores == 256
+
+    def test_effective_numbers_below_peak(self):
+        for spec in TABLE2_PLATFORMS.values():
+            assert spec.effective_gflops < spec.peak_gflops
+            assert spec.effective_bandwidth_gbs < spec.memory_bandwidth_gbs
+
+    def test_power_levels_near_five_watts(self):
+        # The paper reports all four configurations in the ~5-7 W range.
+        for spec in TABLE2_PLATFORMS.values():
+            assert 4.0 < spec.active_power_w < 7.0
+
+    def test_memory_bandwidth_shared_within_board(self):
+        assert JETSON_NANO_CPU.memory_bandwidth_gbs == JETSON_NANO_GPU.memory_bandwidth_gbs
+        assert JETSON_TX2_CPU.memory_bandwidth_gbs == JETSON_TX2_GPU.memory_bandwidth_gbs
+
+
+class TestValidation:
+    def _spec(self, **overrides):
+        base = dict(
+            name="x", kind="cpu", peak_gflops=10.0, memory_bandwidth_gbs=10.0,
+            nn_efficiency=0.2, bandwidth_efficiency=0.5, active_power_w=5.0,
+            idle_power_w=1.0, kernel_overhead_us=1.0,
+        )
+        base.update(overrides)
+        return PlatformSpec(**base)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            self._spec(kind="tpu")
+
+    def test_nonpositive_peak(self):
+        with pytest.raises(ValueError):
+            self._spec(peak_gflops=0.0)
+
+    def test_efficiency_range(self):
+        with pytest.raises(ValueError):
+            self._spec(nn_efficiency=0.0)
+        with pytest.raises(ValueError):
+            self._spec(nn_efficiency=1.5)
+        with pytest.raises(ValueError):
+            self._spec(bandwidth_efficiency=0.0)

@@ -1,0 +1,86 @@
+"""Unit tests for int8 post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.embedded.quantization import (
+    QuantizedModel,
+    _quantize_tensor,
+    quantize_weights,
+)
+
+
+def _trained_model(seed=0):
+    model = nn.Sequential(
+        [nn.Reshape((-1, 1)), nn.Conv1D(4, 5, strides=2, activation="selu"),
+         nn.Flatten(), nn.Dense(3, activation="softmax")]
+    )
+    model.build((40,), seed=seed)
+    model.compile(nn.Adam(0.01), "mae")
+    rng = np.random.default_rng(seed)
+    x = rng.random((128, 40))
+    y = rng.dirichlet(np.ones(3), size=128)
+    model.fit(x, y, epochs=3, batch_size=32, seed=seed)
+    return model, x
+
+
+class TestTensorQuantization:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(20, 10))
+        quantized, scale = _quantize_tensor(weight)
+        dequantized = quantized.astype(np.float64) * scale
+        assert np.max(np.abs(weight - dequantized)) <= scale / 2 + 1e-12
+
+    def test_zero_tensor(self):
+        quantized, scale = _quantize_tensor(np.zeros((3, 3)))
+        assert np.all(quantized == 0)
+        assert scale == 1.0
+
+    def test_int8_range_respected(self):
+        weight = np.array([-10.0, 10.0, 0.1])
+        quantized, _ = _quantize_tensor(weight)
+        assert quantized.dtype == np.int8
+        assert quantized.max() == 127 and quantized.min() == -127
+
+    def test_scale_preserves_extremes(self):
+        weight = np.array([-2.0, 0.5, 2.0])
+        quantized, scale = _quantize_tensor(weight)
+        np.testing.assert_allclose(quantized[[0, 2]] * scale, [-2.0, 2.0])
+
+
+class TestQuantizedModel:
+    def test_unbuilt_model_rejected(self):
+        with pytest.raises(ValueError, match="built"):
+            quantize_weights(nn.Sequential([nn.Dense(2)]))
+
+    def test_prediction_close_to_float_model(self):
+        model, x = _trained_model()
+        quantized = QuantizedModel(model)
+        float_pred = model.predict(x)
+        int8_pred = quantized.predict(x)
+        assert np.max(np.abs(float_pred - int8_pred)) < 0.05
+
+    def test_original_weights_restored_after_predict(self):
+        model, x = _trained_model()
+        before = [w.copy() for w in model.get_weights()]
+        QuantizedModel(model).predict(x)
+        for a, b in zip(before, model.get_weights()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_report_metrics(self):
+        model, x = _trained_model()
+        report = QuantizedModel(model).report(x[:32])
+        n_params = model.count_params()
+        assert report.float32_bytes == 4 * n_params
+        assert report.int8_bytes < report.float32_bytes
+        assert report.compression_ratio > 3.5
+        assert 0 <= report.worst_tensor_error <= 0.01  # <= half an int8 step
+        assert report.prediction_mae < 0.02
+
+    def test_quantization_is_deterministic(self):
+        model, x = _trained_model()
+        a = QuantizedModel(model).predict(x)
+        b = QuantizedModel(model).predict(x)
+        np.testing.assert_array_equal(a, b)

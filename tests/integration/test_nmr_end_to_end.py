@@ -1,0 +1,121 @@
+"""End-to-end NMR integration: augmentation-trained ANN vs IHM.
+
+Reproduces the structure of the paper's Part-B evaluation at reduced scale:
+a conv ANN trained on IHM-simulated spectra predicts the experimental
+campaign accurately and is orders of magnitude faster than IHM fitting;
+the LSTM exploits plateau structure for smoother predictions.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.augmentation import plateau_time_series, sliding_windows
+from repro.core.topologies import nmr_conv_topology, nmr_lstm_topology
+from repro.nmr import (
+    DoEPlan,
+    FlowReactorExperiment,
+    IHMAnalysis,
+    NMRSpectrumSimulator,
+    ReactionKinetics,
+    VirtualNMRSpectrometer,
+    mndpa_reaction_models,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    models = mndpa_reaction_models()
+    experiment = FlowReactorExperiment(
+        ReactionKinetics(), VirtualNMRSpectrometer.benchtop(models, seed=0), seed=0
+    )
+    dataset = experiment.run(DoEPlan.full_factorial(), 11)
+    return models, dataset
+
+
+@pytest.fixture(scope="module")
+def trained_conv(campaign):
+    models, dataset = campaign
+    simulator = NMRSpectrumSimulator.from_dataset(models, dataset)
+    rng = np.random.default_rng(0)
+    x_train, y_train = simulator.generate_dataset(6000, rng)
+    x_val, y_val = simulator.generate_dataset(500, rng)
+    model = nmr_conv_topology().build((1700,), seed=0)
+    model.compile(nn.Adam(0.002), "mse")
+    model.fit(x_train, y_train, epochs=25, batch_size=64,
+              validation_data=(x_val, y_val), seed=0,
+              callbacks=[nn.EarlyStopping(patience=6, restore_best_weights=True)])
+    return simulator, model
+
+
+class TestExperimentalDataset:
+    def test_size_near_300(self, campaign):
+        _, dataset = campaign
+        assert 250 <= len(dataset) <= 350  # paper: 300 raw spectra
+
+    def test_four_labels(self, campaign):
+        _, dataset = campaign
+        assert dataset.reference_labels.shape[1] == 4
+
+
+class TestConvVsIHM:
+    def test_conv_predicts_experimental_data(self, campaign, trained_conv):
+        _, dataset = campaign
+        _, model = trained_conv
+        pred = model.predict(dataset.spectra)
+        mse = nn.mean_squared_error(pred, dataset.reference_labels)
+        # RMSE below ~8 mM on a 0-0.6 M scale.
+        assert mse < 6e-5
+
+    def test_conv_not_worse_than_ihm(self, campaign, trained_conv):
+        """Paper: the conv ANN has ~5 % lower MSE than IHM."""
+        models, dataset = campaign
+        _, model = trained_conv
+        subset = np.arange(0, len(dataset), 10)  # 30 spectra
+        ann_mse = nn.mean_squared_error(
+            model.predict(dataset.spectra[subset]),
+            dataset.reference_labels[subset],
+        )
+        ihm = IHMAnalysis(models)
+        ihm_mse = nn.mean_squared_error(
+            ihm.predict(dataset.spectra[subset]),
+            dataset.reference_labels[subset],
+        )
+        assert ann_mse < ihm_mse * 1.1
+
+    def test_ann_orders_of_magnitude_faster_than_ihm(self, campaign, trained_conv):
+        """Paper: >1000x faster; require at least 50x here."""
+        models, dataset = campaign
+        _, model = trained_conv
+        spectrum = dataset.spectra[:1]
+        model.predict(spectrum)  # warm up
+        start = time.perf_counter()
+        for _ in range(20):
+            model.predict(spectrum)
+        ann_time = (time.perf_counter() - start) / 20
+        ihm = IHMAnalysis(models)
+        start = time.perf_counter()
+        ihm.analyze(dataset.spectra[0])
+        ihm_time = time.perf_counter() - start
+        assert ihm_time > 50 * ann_time
+
+
+class TestLSTM:
+    def test_lstm_trains_on_plateau_windows(self, campaign, trained_conv):
+        models, dataset = campaign
+        simulator, _ = trained_conv
+        rng = np.random.default_rng(1)
+        x_pool, y_pool = simulator.generate_dataset(400, rng)
+        x_seq, y_seq = plateau_time_series(x_pool, y_pool, 800, rng)
+        x_windows, y_windows = sliding_windows(x_seq, y_seq, 5)
+        model = nmr_lstm_topology().build((5, 1700), seed=0)
+        assert model.count_params() == 221_956
+        model.compile(nn.Adam(0.005, clipnorm=5.0), "mse")
+        # LSTM gates saturate on raw intensities; scale inputs by 0.1.
+        history = model.fit(
+            x_windows[:400] * 0.1, y_windows[:400], epochs=3, batch_size=32,
+            seed=0,
+        )
+        assert history["loss"][-1] < history["loss"][0]

@@ -1,0 +1,111 @@
+"""Direct tests of the Tool-2 numerical estimators."""
+
+import numpy as np
+import pytest
+
+from repro.ms.characterization import (
+    _fwhm_sigma,
+    _linear_fit,
+    _log_parabola_sigma,
+    _robust_noise_sigma,
+)
+
+
+class TestRobustNoiseSigma:
+    def test_recovers_white_noise_sigma(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(0.0, 0.01, size=20_000)
+        assert _robust_noise_sigma(noise) == pytest.approx(0.01, rel=0.05)
+
+    def test_immune_to_slow_baseline(self):
+        """A slow sine baseline must not inflate the noise estimate —
+        exactly the failure mode of a plain standard deviation."""
+        rng = np.random.default_rng(1)
+        t = np.linspace(0, 10 * np.pi, 20_000)
+        signal = 0.05 * np.sin(t) + rng.normal(0.0, 0.01, size=t.size)
+        plain_std = float(np.std(signal))
+        robust = _robust_noise_sigma(signal)
+        assert plain_std > 0.03  # the baseline dominates the naive estimate
+        assert robust == pytest.approx(0.01, rel=0.1)
+
+    def test_robust_to_segment_boundary_jumps(self):
+        rng = np.random.default_rng(2)
+        segments = [
+            level + rng.normal(0.0, 0.01, size=2000)
+            for level in (0.0, 0.5, -0.3, 0.2)
+        ]
+        quiet = np.concatenate(segments)
+        assert _robust_noise_sigma(quiet) == pytest.approx(0.01, rel=0.15)
+
+    def test_tiny_input_falls_back_to_std(self):
+        assert _robust_noise_sigma(np.array([1.0, 1.0])) == 0.0
+
+
+class TestLogParabolaSigma:
+    def _sampled_gaussian(self, sigma, step, center_offset=0.0):
+        grid = np.arange(-10, 10.0001, step)
+        values = np.exp(-0.5 * ((grid - center_offset) / sigma) ** 2)
+        return grid, values
+
+    @pytest.mark.parametrize("sigma", [0.05, 0.1, 0.3])
+    @pytest.mark.parametrize("step", [0.02, 0.1, 0.2])
+    def test_exact_on_grid_centered_gaussian(self, sigma, step):
+        if sigma < step / 2:
+            pytest.skip("peak narrower than the grid cannot be resolved")
+        grid, values = self._sampled_gaussian(sigma, step)
+        peak = int(np.argmax(values))
+        estimate = _log_parabola_sigma(grid, values, peak)
+        assert estimate == pytest.approx(sigma, rel=1e-9)
+
+    def test_off_grid_center_small_bias(self):
+        grid, values = self._sampled_gaussian(0.1, 0.08, center_offset=0.03)
+        peak = int(np.argmax(values))
+        estimate = _log_parabola_sigma(grid, values, peak)
+        assert estimate == pytest.approx(0.1, rel=1e-6)  # exact for log-parabola
+
+    def test_edge_peak_returns_none(self):
+        grid = np.arange(5.0)
+        values = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert _log_parabola_sigma(grid, values, 0) is None
+
+    def test_nonpositive_neighbour_returns_none(self):
+        grid = np.arange(5.0)
+        values = np.array([0.5, 0.0, 2.0, 1.0, 0.5])
+        assert _log_parabola_sigma(grid, values, 2) is None
+
+    def test_flat_top_returns_none(self):
+        grid = np.arange(5.0)
+        values = np.array([0.5, 1.0, 1.0, 1.0, 0.5])
+        assert _log_parabola_sigma(grid, values, 2) is None
+
+
+class TestFwhmSigma:
+    def test_matches_gaussian_sigma_on_fine_grid(self):
+        grid = np.arange(-5, 5.0001, 0.001)
+        sigma = 0.25
+        values = np.exp(-0.5 * (grid / sigma) ** 2)
+        peak = int(np.argmax(values))
+        estimate = _fwhm_sigma(grid, values, peak, 1.0)
+        assert estimate == pytest.approx(sigma, rel=0.01)
+
+    def test_truncated_peak_returns_none(self):
+        grid = np.arange(0, 1.0, 0.1)
+        values = np.exp(-0.5 * (grid / 0.5) ** 2)  # left half missing
+        assert _fwhm_sigma(grid, values, 0, 1.0) is None
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        y = 3.0 * x + 2.0
+        slope, intercept, residual = _linear_fit(x, y)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(2.0)
+        assert residual == pytest.approx(0.0, abs=1e-10)
+
+    def test_residual_reflects_noise(self):
+        rng = np.random.default_rng(3)
+        x = np.linspace(0, 1, 500)
+        y = x + rng.normal(0.0, 0.05, size=x.size)
+        _, _, residual = _linear_fit(x, y)
+        assert residual == pytest.approx(0.05, rel=0.2)

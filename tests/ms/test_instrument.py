@@ -1,0 +1,167 @@
+"""Unit tests for the ground-truth virtual mass spectrometer."""
+
+import numpy as np
+import pytest
+
+from repro.ms.compounds import default_library
+from repro.ms.instrument import (
+    InstrumentCharacteristics,
+    VirtualMassSpectrometer,
+    render_line_spectrum,
+)
+from repro.ms.line_spectra import LineSpectrum
+from repro.ms.spectrum import MzAxis
+
+
+def _quiet_instrument(**kwargs):
+    """An instrument with all stochastic effects disabled."""
+    characteristics = InstrumentCharacteristics(
+        baseline_amplitude=0.0,
+        noise_sigma=0.0,
+        shot_noise_factor=0.0,
+        ignition_gas_intensity=kwargs.pop("ignition_gas_intensity", 0.0),
+    )
+    return VirtualMassSpectrometer(
+        characteristics,
+        peak_jitter_sigma=0.0,
+        drift_per_hour=kwargs.pop("drift_per_hour", 0.0),
+        **kwargs,
+    )
+
+
+class TestCharacteristics:
+    def test_sigma_grows_with_mz(self):
+        ch = InstrumentCharacteristics()
+        assert ch.sigma_at(40.0) > ch.sigma_at(2.0)
+
+    def test_sensitivity_decays_with_mz(self):
+        ch = InstrumentCharacteristics()
+        assert ch.sensitivity_at(44.0) < ch.sensitivity_at(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstrumentCharacteristics(peak_sigma_base=0.0)
+        with pytest.raises(ValueError):
+            InstrumentCharacteristics(attenuation_tau=-1.0)
+        with pytest.raises(ValueError):
+            InstrumentCharacteristics(noise_sigma=-0.1)
+
+
+class TestRendering:
+    def test_single_line_renders_as_gaussian(self):
+        axis = MzAxis(1.0, 20.0, 0.05)
+        ch = InstrumentCharacteristics(
+            peak_sigma_slope=0.0, baseline_amplitude=0.0, noise_sigma=0.0
+        )
+        lines = LineSpectrum(np.array([10.0]), np.array([1.0]))
+        signal = render_line_spectrum(lines, axis, ch)
+        grid = axis.values()
+        peak_idx = np.argmax(signal)
+        assert grid[peak_idx] == pytest.approx(10.0, abs=axis.step)
+        # Gaussian shape: value at +sigma should be exp(-0.5) of peak.
+        sigma = ch.peak_sigma_base
+        at_sigma = np.interp(10.0 + sigma, grid, signal)
+        assert at_sigma / signal[peak_idx] == pytest.approx(np.exp(-0.5), rel=0.02)
+
+    def test_attenuation_reduces_high_mz_peaks(self):
+        axis = MzAxis(1.0, 50.0, 0.05)
+        ch = InstrumentCharacteristics(attenuation_tau=20.0)
+        lines = LineSpectrum(np.array([5.0, 45.0]), np.array([1.0, 1.0]))
+        signal = render_line_spectrum(lines, axis, ch)
+        low = signal[axis.index_of(5.0)]
+        high = signal[axis.index_of(45.0)]
+        assert high < low * 0.25
+
+    def test_empty_line_spectrum_renders_zeros(self):
+        axis = MzAxis(1.0, 10.0, 0.1)
+        signal = render_line_spectrum(
+            LineSpectrum(np.array([]), np.array([])), axis, InstrumentCharacteristics()
+        )
+        np.testing.assert_array_equal(signal, 0.0)
+
+    def test_mz_shift_moves_peak(self):
+        axis = MzAxis(1.0, 20.0, 0.02)
+        ch = InstrumentCharacteristics()
+        lines = LineSpectrum(np.array([10.0]), np.array([1.0]))
+        shifted = render_line_spectrum(lines, axis, ch, mz_shift=0.5)
+        peak_mz = axis.values()[np.argmax(shifted)]
+        assert peak_mz == pytest.approx(10.5, abs=axis.step)
+
+
+class TestMeasurement:
+    def test_measure_returns_spectrum_with_metadata(self):
+        instrument = _quiet_instrument()
+        spectrum = instrument.measure({"Ar": 1.0})
+        assert spectrum.metadata["dosed_concentrations"] == {"Ar": 1.0}
+        assert "true_sample" in spectrum.metadata
+
+    def test_noise_free_measurement_is_deterministic(self):
+        instrument = _quiet_instrument()
+        a = instrument.measure({"Ar": 1.0}).intensities
+        b = instrument.measure({"Ar": 1.0}).intensities
+        np.testing.assert_array_equal(a, b)
+
+    def test_noisy_measurements_differ(self):
+        instrument = VirtualMassSpectrometer()
+        a = instrument.measure({"Ar": 1.0}).intensities
+        b = instrument.measure({"Ar": 1.0}).intensities
+        assert not np.array_equal(a, b)
+
+    def test_intensities_are_nonnegative(self):
+        instrument = VirtualMassSpectrometer()
+        spectrum = instrument.measure({"N2": 0.8, "O2": 0.2})
+        assert np.all(spectrum.intensities >= 0)
+
+    def test_contamination_adds_water_signal(self):
+        clean = _quiet_instrument()
+        humid = _quiet_instrument(contamination={"H2O": 0.05})
+        dry = clean.measure({"Ar": 1.0})
+        wet = humid.measure({"Ar": 1.0})
+        water_idx = dry.axis.index_of(18.0)
+        assert wet.intensities[water_idx] > dry.intensities[water_idx] + 0.01
+
+    def test_contamination_normalizes_sample(self):
+        instrument = _quiet_instrument(contamination={"H2O": 0.1})
+        sample = instrument.effective_sample({"Ar": 1.0})
+        assert sample["H2O"] == pytest.approx(0.1 / 1.1)
+        assert sum(sample.values()) == pytest.approx(1.0)
+
+    def test_unknown_contaminant_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            VirtualMassSpectrometer(contamination={"Kryptonite": 0.1})
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            _quiet_instrument().measure({"Ar": 0.0})
+
+    def test_ignition_gas_peak_present_without_sample_lines_there(self):
+        instrument = _quiet_instrument(ignition_gas_intensity=0.1)
+        spectrum = instrument.measure({"Ar": 1.0})
+        # He ignition gas artifact at m/z 4 even though Ar has no line there.
+        assert spectrum.intensities[spectrum.axis.index_of(4.0)] > 0.05
+
+    def test_measure_series_length(self):
+        instrument = VirtualMassSpectrometer()
+        series = instrument.measure_series({"Ar": 1.0}, 5)
+        assert len(series) == 5
+        with pytest.raises(ValueError):
+            instrument.measure_series({"Ar": 1.0}, 0)
+
+
+class TestDrift:
+    def test_advance_time_reduces_gain(self):
+        instrument = VirtualMassSpectrometer(drift_per_hour=0.01)
+        gain_before = instrument.characteristics.gain
+        instrument.advance_time(24.0)
+        assert instrument.characteristics.gain < gain_before
+        assert instrument.hours_operated == 24.0
+
+    def test_zero_drift_rate_keeps_gain(self):
+        instrument = VirtualMassSpectrometer(drift_per_hour=0.0)
+        gain_before = instrument.characteristics.gain
+        instrument.advance_time(100.0)
+        assert instrument.characteristics.gain == gain_before
+
+    def test_negative_hours_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualMassSpectrometer().advance_time(-1.0)

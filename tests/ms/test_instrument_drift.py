@@ -1,0 +1,80 @@
+"""Detailed tests of the configuration-drift model."""
+
+import numpy as np
+import pytest
+
+from repro.ms.compounds import default_library
+from repro.ms.instrument import VirtualMassSpectrometer
+from repro.ms.spectrum import MzAxis
+
+
+def _instrument(drift, seed=0):
+    return VirtualMassSpectrometer(
+        library=default_library(), axis=MzAxis(1.0, 50.0, 0.25),
+        drift_per_hour=drift, seed=seed,
+    )
+
+
+class TestDriftTrend:
+    def test_offset_has_systematic_positive_trend(self):
+        """The deterministic ageing component dominates the random walk, so
+        long operation reliably shifts the mass axis."""
+        shifts = []
+        for seed in range(5):
+            instrument = _instrument(0.005, seed=seed)
+            instrument.advance_time(48.0)
+            shifts.append(instrument.characteristics.mz_offset)
+        assert all(s > 0.02 for s in shifts)
+
+    def test_longer_operation_drifts_further(self):
+        short = _instrument(0.005, seed=1)
+        long = _instrument(0.005, seed=1)
+        short.advance_time(10.0)
+        long.advance_time(200.0)
+        assert abs(long.characteristics.mz_offset) > abs(
+            short.characteristics.mz_offset
+        )
+
+    def test_sensitivity_profile_changes(self):
+        instrument = _instrument(0.005, seed=2)
+        tau_before = instrument.characteristics.attenuation_tau
+        instrument.advance_time(100.0)
+        assert instrument.characteristics.attenuation_tau != tau_before
+
+    def test_peaks_broaden_with_age(self):
+        instrument = _instrument(0.005, seed=3)
+        width_before = instrument.characteristics.peak_sigma_base
+        instrument.advance_time(100.0)
+        assert instrument.characteristics.peak_sigma_base > width_before
+
+    def test_hours_accumulate(self):
+        instrument = _instrument(0.002)
+        instrument.advance_time(10.0)
+        instrument.advance_time(15.0)
+        assert instrument.hours_operated == 25.0
+
+
+class TestDriftObservableInSpectra:
+    def test_drifted_device_shifts_measured_peak(self):
+        instrument = _instrument(0.01, seed=4)
+        instrument.characteristics = instrument.characteristics.__class__(
+            **{**instrument.characteristics.__dict__,
+               "noise_sigma": 0.0, "shot_noise_factor": 0.0,
+               "baseline_amplitude": 0.0}
+        )
+        instrument.peak_jitter_sigma = 0.0
+        before = instrument.measure({"Ar": 1.0})
+        peak_before = before.mz[np.argmax(before.intensities)]
+        instrument.advance_time(200.0)
+        after = instrument.measure({"Ar": 1.0})
+        peak_after = after.mz[np.argmax(after.intensities)]
+        assert peak_after != peak_before
+
+    def test_frozen_device_spectra_reproducible(self):
+        instrument = _instrument(0.0, seed=5)
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        a = instrument.measure({"N2": 1.0}, rng=rng_a)
+        instrument.advance_time(1000.0)
+        b = instrument.measure({"N2": 1.0}, rng=rng_b)
+        np.testing.assert_array_equal(a.intensities, b.intensities)

@@ -1,0 +1,85 @@
+"""Unit tests for Tool 1 (ideal line-spectra simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.ms.compounds import default_library
+from repro.ms.line_spectra import LineSpectrum, ideal_mixture_spectrum
+
+
+LIB = default_library()
+
+
+class TestLineSpectrum:
+    def test_sorts_by_mz(self):
+        spectrum = LineSpectrum(np.array([5.0, 2.0, 9.0]), np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(spectrum.mz, [2.0, 5.0, 9.0])
+        np.testing.assert_array_equal(spectrum.intensities, [2.0, 1.0, 3.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LineSpectrum(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_merged_combines_coincident_lines(self):
+        spectrum = LineSpectrum(
+            np.array([28.0, 28.0, 32.0]), np.array([0.5, 0.3, 1.0])
+        )
+        merged = spectrum.merged()
+        np.testing.assert_array_equal(merged.mz, [28.0, 32.0])
+        np.testing.assert_allclose(merged.intensities, [0.8, 1.0])
+
+    def test_merged_empty(self):
+        merged = LineSpectrum(np.array([]), np.array([])).merged()
+        assert len(merged) == 0
+
+    def test_normalized(self):
+        spectrum = LineSpectrum(np.array([1.0, 2.0]), np.array([2.0, 8.0]))
+        np.testing.assert_allclose(spectrum.normalized().intensities, [0.25, 1.0])
+
+
+class TestIdealMixture:
+    def test_pure_compound_matches_library_pattern(self):
+        spectrum = ideal_mixture_spectrum({"Ar": 1.0}, LIB)
+        mz, intensity = LIB.get("Ar").line_arrays()
+        np.testing.assert_allclose(sorted(spectrum.mz), sorted(mz))
+
+    def test_superposition_is_linear(self):
+        a = ideal_mixture_spectrum({"Ar": 1.0}, LIB)
+        mix = ideal_mixture_spectrum({"Ar": 0.25}, LIB)
+        np.testing.assert_allclose(mix.intensities, 0.25 * a.intensities)
+
+    def test_overlapping_compounds_merge_at_shared_mz(self):
+        # N2 and CO both have their base peak at m/z 28.
+        mix = ideal_mixture_spectrum({"N2": 0.5, "CO": 0.5}, LIB)
+        idx = np.where(mix.mz == 28.0)[0]
+        assert idx.size == 1
+        assert mix.intensities[idx[0]] == pytest.approx(1.0)
+
+    def test_zero_concentration_contributes_nothing(self):
+        with_zero = ideal_mixture_spectrum({"Ar": 1.0, "O2": 0.0}, LIB)
+        without = ideal_mixture_spectrum({"Ar": 1.0}, LIB)
+        np.testing.assert_array_equal(with_zero.mz, without.mz)
+
+    def test_metadata_records_concentrations(self):
+        mix = ideal_mixture_spectrum({"Ar": 0.7, "O2": 0.3}, LIB)
+        assert mix.metadata["concentrations"] == {"Ar": 0.7, "O2": 0.3}
+
+    def test_negative_concentration_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            ideal_mixture_spectrum({"Ar": -0.1}, LIB)
+
+    def test_empty_mapping_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ideal_mixture_spectrum({}, LIB)
+
+    def test_all_zero_returns_empty_spectrum(self):
+        mix = ideal_mixture_spectrum({"Ar": 0.0}, LIB)
+        assert len(mix) == 0
+
+    def test_unknown_compound_raises(self):
+        with pytest.raises(KeyError):
+            ideal_mixture_spectrum({"Unobtanium": 1.0}, LIB)
+
+    def test_unmerged_keeps_duplicate_positions(self):
+        mix = ideal_mixture_spectrum({"N2": 0.5, "CO": 0.5}, LIB, merge=False)
+        assert np.sum(mix.mz == 28.0) == 2

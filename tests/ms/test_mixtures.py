@@ -1,0 +1,122 @@
+"""Unit tests for mixture plans and the gas-mixing rig."""
+
+import numpy as np
+import pytest
+
+from repro.ms.compounds import DEFAULT_TASK_COMPOUNDS, default_library
+from repro.ms.instrument import VirtualMassSpectrometer
+from repro.ms.mixtures import (
+    MassFlowControllerRig,
+    MixturePlan,
+    default_mixture_plan,
+    sample_concentrations,
+)
+
+TASK = DEFAULT_TASK_COMPOUNDS
+
+
+class TestSampleConcentrations:
+    def test_rows_on_simplex(self):
+        samples = sample_concentrations(5, 100, np.random.default_rng(0))
+        assert samples.shape == (100, 5)
+        np.testing.assert_allclose(samples.sum(axis=1), 1.0)
+        assert np.all(samples >= 0)
+
+    def test_alpha_controls_concentration(self):
+        rng = np.random.default_rng(0)
+        sparse = sample_concentrations(5, 2000, rng, alpha=0.2)
+        dense = sample_concentrations(5, 2000, rng, alpha=10.0)
+        # Sparse draws have higher per-row maxima on average.
+        assert sparse.max(axis=1).mean() > dense.max(axis=1).mean()
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_concentrations(0, 5, rng)
+        with pytest.raises(ValueError):
+            sample_concentrations(5, 5, rng, alpha=0.0)
+
+
+class TestMixturePlan:
+    def test_add_and_matrix(self):
+        plan = MixturePlan(("A", "B"))
+        plan.add({"A": 0.25, "B": 0.75})
+        matrix = plan.as_matrix()
+        np.testing.assert_array_equal(matrix, [[0.25, 0.75]])
+
+    def test_rejects_unknown_compound(self):
+        plan = MixturePlan(("A", "B"))
+        with pytest.raises(ValueError, match="outside the task"):
+            plan.add({"C": 1.0})
+
+    def test_rejects_non_normalized(self):
+        plan = MixturePlan(("A", "B"))
+        with pytest.raises(ValueError, match="sum to"):
+            plan.add({"A": 0.5, "B": 0.2})
+
+    def test_rejects_negative(self):
+        plan = MixturePlan(("A", "B"))
+        with pytest.raises(ValueError, match="negative"):
+            plan.add({"A": -0.5, "B": 1.5})
+
+    def test_default_plan_has_requested_size(self):
+        plan = default_mixture_plan(TASK, 14)
+        assert len(plan) == 14
+        matrix = plan.as_matrix()
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_default_plan_gives_every_compound_a_dominant_mixture(self):
+        plan = default_mixture_plan(TASK, 14)
+        matrix = plan.as_matrix()
+        assert np.all(matrix.max(axis=0) >= 0.7 - 1e-9)
+
+    def test_default_plan_too_small_raises(self):
+        with pytest.raises(ValueError, match="at least one mixture"):
+            default_mixture_plan(TASK, len(TASK) - 1)
+
+    def test_default_plan_deterministic(self):
+        a = default_mixture_plan(TASK, 14, seed=1).as_matrix()
+        b = default_mixture_plan(TASK, 14, seed=1).as_matrix()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRig:
+    def _rig(self, dosing_error=0.005):
+        instrument = VirtualMassSpectrometer(library=default_library())
+        return MassFlowControllerRig(instrument, dosing_error=dosing_error)
+
+    def test_dose_normalizes(self):
+        rig = self._rig()
+        actual = rig.dose({"N2": 0.8, "O2": 0.2})
+        assert sum(actual.values()) == pytest.approx(1.0)
+
+    def test_dose_close_to_setpoint(self):
+        rig = self._rig(dosing_error=0.01)
+        actual = rig.dose({"N2": 0.8, "O2": 0.2})
+        assert actual["N2"] == pytest.approx(0.8, abs=0.05)
+
+    def test_zero_error_rig_is_exact(self):
+        rig = self._rig(dosing_error=0.0)
+        actual = rig.dose({"N2": 0.6, "O2": 0.4})
+        assert actual == {"N2": pytest.approx(0.6), "O2": pytest.approx(0.4)}
+
+    def test_measure_mixture_returns_setpoint_label(self):
+        rig = self._rig()
+        spectrum, label = rig.measure_mixture({"N2": 0.5, "O2": 0.5})
+        assert label == {"N2": 0.5, "O2": 0.5}
+        assert len(spectrum) == spectrum.axis.size
+
+    def test_measure_plan_count(self):
+        rig = self._rig()
+        plan = default_mixture_plan(TASK, 8)
+        measurements = rig.measure_plan(plan, 3)
+        assert len(measurements) == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._rig(dosing_error=-0.1)
+        rig = self._rig()
+        with pytest.raises(ValueError):
+            rig.measure_series({"N2": 1.0}, 0)
+        with pytest.raises(ValueError):
+            rig.dose({"N2": -1.0})

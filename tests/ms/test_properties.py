@@ -1,0 +1,107 @@
+"""Property-based tests for the MS substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ms.compounds import DEFAULT_TASK_COMPOUNDS, default_library
+from repro.ms.instrument import InstrumentCharacteristics, render_line_spectrum
+from repro.ms.line_spectra import LineSpectrum, ideal_mixture_spectrum
+from repro.ms.mixtures import sample_concentrations
+from repro.ms.resolution import resample_spectrum
+from repro.ms.simulator import MassSpectrometerSimulator
+from repro.ms.spectrum import MassSpectrum, MzAxis
+
+settings.register_profile("repro_ms", deadline=None, max_examples=25)
+settings.load_profile("repro_ms")
+
+LIB = default_library()
+
+concentration_maps = st.dictionaries(
+    st.sampled_from(list(DEFAULT_TASK_COMPOUNDS)),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestTool1Properties:
+    @given(concentration_maps, st.floats(min_value=0.01, max_value=10.0))
+    def test_superposition_homogeneity(self, conc, scale):
+        base = ideal_mixture_spectrum(conc, LIB)
+        scaled = ideal_mixture_spectrum(
+            {k: v * scale for k, v in conc.items()}, LIB
+        )
+        np.testing.assert_allclose(
+            scaled.intensities, base.intensities * scale, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_allclose(scaled.mz, base.mz)
+
+    @given(concentration_maps)
+    def test_lines_subset_of_compound_lines(self, conc):
+        spectrum = ideal_mixture_spectrum(conc, LIB)
+        allowed = set()
+        for name in conc:
+            allowed.update(mz for mz, _ in LIB.get(name).lines)
+        assert set(spectrum.mz.tolist()) <= allowed
+
+    @given(concentration_maps)
+    def test_intensities_nonnegative(self, conc):
+        spectrum = ideal_mixture_spectrum(conc, LIB)
+        assert np.all(spectrum.intensities >= 0)
+
+
+class TestRenderingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=2.0, max_value=48.0),
+                st.floats(min_value=0.01, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_render_linear_in_intensities(self, lines_list):
+        axis = MzAxis(1.0, 50.0, 0.2)
+        ch = InstrumentCharacteristics()
+        mz = np.array([m for m, _ in lines_list])
+        intensity = np.array([i for _, i in lines_list])
+        a = render_line_spectrum(LineSpectrum(mz, intensity), axis, ch)
+        b = render_line_spectrum(LineSpectrum(mz, 2.0 * intensity), axis, ch)
+        np.testing.assert_allclose(b, 2.0 * a, rtol=1e-9, atol=1e-30)
+
+    @given(st.floats(min_value=5.0, max_value=45.0))
+    def test_rendered_peak_is_near_line(self, position):
+        axis = MzAxis(1.0, 50.0, 0.05)
+        ch = InstrumentCharacteristics()
+        signal = render_line_spectrum(
+            LineSpectrum(np.array([position]), np.array([1.0])), axis, ch
+        )
+        peak_mz = axis.values()[np.argmax(signal)]
+        assert abs(peak_mz - position) <= 2 * axis.step
+
+
+class TestDatasetProperties:
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=0, max_value=10))
+    def test_labels_always_on_simplex(self, n, seed):
+        sim = MassSpectrometerSimulator(InstrumentCharacteristics(), MzAxis(1, 50, 0.5), LIB)
+        _, y = sim.generate_dataset(DEFAULT_TASK_COMPOUNDS, n, np.random.default_rng(seed))
+        np.testing.assert_allclose(y.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(y >= 0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=50))
+    def test_sample_concentrations_simplex(self, k, n):
+        samples = sample_concentrations(k, n, np.random.default_rng(0))
+        np.testing.assert_allclose(samples.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestResamplingProperties:
+    @given(st.floats(min_value=0.05, max_value=0.5))
+    def test_resampling_preserves_value_range(self, step):
+        axis = MzAxis(1.0, 50.0, 0.1)
+        rng = np.random.default_rng(0)
+        spectrum = MassSpectrum(axis, rng.random(axis.size))
+        out = resample_spectrum(spectrum, MzAxis(1.0, 50.0, step))
+        assert out.intensities.min() >= 0.0
+        assert out.intensities.max() <= spectrum.intensities.max() + 1e-12

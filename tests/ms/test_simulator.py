@@ -1,0 +1,140 @@
+"""Unit tests for Tool 3 (the mass-spectrometer simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.ms.compounds import DEFAULT_TASK_COMPOUNDS, default_library
+from repro.ms.instrument import InstrumentCharacteristics
+from repro.ms.line_spectra import ideal_mixture_spectrum
+from repro.ms.simulator import MassSpectrometerSimulator
+from repro.ms.spectrum import MzAxis
+
+LIB = default_library()
+TASK = DEFAULT_TASK_COMPOUNDS
+
+
+def _simulator(**overrides):
+    return MassSpectrometerSimulator(
+        InstrumentCharacteristics(**overrides), MzAxis(), LIB
+    )
+
+
+class TestRender:
+    def test_noise_free_render_is_deterministic(self):
+        sim = _simulator(ignition_gas_intensity=0.0)
+        lines = ideal_mixture_spectrum({"Ar": 1.0}, LIB)
+        a = sim.render(lines, with_noise=False).intensities
+        b = sim.render(lines, with_noise=False).intensities
+        np.testing.assert_array_equal(a, b)
+
+    def test_with_noise_requires_rng(self):
+        sim = _simulator()
+        lines = ideal_mixture_spectrum({"Ar": 1.0}, LIB)
+        with pytest.raises(ValueError, match="rng"):
+            sim.render(lines, with_noise=True)
+
+    def test_ignition_gas_present_in_render(self):
+        sim = _simulator(ignition_gas_intensity=0.1)
+        spectrum = sim.simulate({"Ar": 1.0}, with_noise=False)
+        assert spectrum.intensities[spectrum.axis.index_of(4.0)] > 0.05
+
+    def test_simulate_peak_positions_match_compound(self):
+        sim = _simulator(ignition_gas_intensity=0.0)
+        spectrum = sim.simulate({"CO2": 1.0}, with_noise=False)
+        peak_mz = spectrum.mz[np.argmax(spectrum.intensities)]
+        assert peak_mz == pytest.approx(44.0, abs=0.1)
+
+
+class TestResponseMatrix:
+    def test_shape(self):
+        sim = _simulator()
+        matrix = sim.response_matrix(TASK)
+        assert matrix.shape == (len(TASK), MzAxis().size)
+
+    def test_mixture_is_linear_combination(self):
+        sim = _simulator(ignition_gas_intensity=0.0)
+        matrix = sim.response_matrix(["N2", "O2"])
+        mixed = sim.simulate({"N2": 0.6, "O2": 0.4}, with_noise=False)
+        np.testing.assert_allclose(
+            mixed.intensities, 0.6 * matrix[0] + 0.4 * matrix[1], atol=1e-12
+        )
+
+
+class TestGenerateDataset:
+    def test_shapes_and_label_simplex(self):
+        sim = _simulator()
+        x, y = sim.generate_dataset(TASK, 64, np.random.default_rng(0))
+        assert x.shape == (64, MzAxis().size)
+        assert y.shape == (64, len(TASK))
+        np.testing.assert_allclose(y.sum(axis=1), 1.0)
+        assert np.all(y >= 0)
+
+    def test_max_normalization(self):
+        sim = _simulator()
+        x, _ = sim.generate_dataset(TASK, 16, np.random.default_rng(0))
+        np.testing.assert_allclose(x.max(axis=1), 1.0)
+
+    def test_area_normalization(self):
+        sim = _simulator()
+        x, _ = sim.generate_dataset(
+            TASK, 16, np.random.default_rng(0), normalize="area"
+        )
+        np.testing.assert_allclose(x.sum(axis=1) * MzAxis().step, 1.0, rtol=1e-9)
+
+    def test_no_normalization(self):
+        sim = _simulator()
+        x, _ = sim.generate_dataset(
+            TASK, 16, np.random.default_rng(0), normalize="none"
+        )
+        assert not np.allclose(x.max(axis=1), 1.0)
+
+    def test_bad_normalize_mode(self):
+        sim = _simulator()
+        with pytest.raises(ValueError, match="normalize"):
+            sim.generate_dataset(TASK, 4, np.random.default_rng(0), normalize="l2")
+
+    def test_reproducible_with_seeded_rng(self):
+        sim = _simulator()
+        x1, y1 = sim.generate_dataset(TASK, 8, np.random.default_rng(5))
+        x2, y2 = sim.generate_dataset(TASK, 8, np.random.default_rng(5))
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_custom_concentration_sampler(self):
+        sim = _simulator()
+
+        def sampler(n, rng):
+            labels = np.zeros((n, len(TASK)))
+            labels[:, 0] = 1.0
+            return labels
+
+        x, y = sim.generate_dataset(
+            TASK, 8, np.random.default_rng(0), concentration_sampler=sampler
+        )
+        np.testing.assert_array_equal(y[:, 0], 1.0)
+
+    def test_bad_sampler_shape_rejected(self):
+        sim = _simulator()
+        with pytest.raises(ValueError, match="sampler"):
+            sim.generate_dataset(
+                TASK,
+                8,
+                np.random.default_rng(0),
+                concentration_sampler=lambda n, rng: np.ones((n, 2)),
+            )
+
+    def test_input_validation(self):
+        sim = _simulator()
+        with pytest.raises(ValueError):
+            sim.generate_dataset(TASK, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sim.generate_dataset([], 8, np.random.default_rng(0))
+
+    def test_noise_free_dataset_is_pure_linear_model(self):
+        sim = _simulator(ignition_gas_intensity=0.0)
+        x, y = sim.generate_dataset(
+            ["N2", "O2"], 8, np.random.default_rng(0),
+            with_noise=False, normalize="none",
+        )
+        matrix = sim.response_matrix(["N2", "O2"])
+        np.testing.assert_allclose(x, y @ matrix, atol=1e-12)

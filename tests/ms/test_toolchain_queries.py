@@ -1,0 +1,74 @@
+"""Database-backed queries over toolchain artifacts (the paper's audit use)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MSToolchain, TrainingConfig, TrainingService, mlp_topology
+from repro.db import DocumentStore, ProvenanceTracker
+from repro.ms import MassFlowControllerRig, VirtualMassSpectrometer, default_library
+from repro.ms.compounds import DEFAULT_TASK_COMPOUNDS
+from repro.ms.spectrum import MzAxis
+
+TASK = DEFAULT_TASK_COMPOUNDS
+AXIS = MzAxis(1.0, 50.0, 0.25)
+
+
+@pytest.fixture(scope="module")
+def audited_store():
+    """Run two small toolchain variants against one shared store."""
+    store = DocumentStore()
+    tracker = ProvenanceTracker(store)
+    instrument = VirtualMassSpectrometer(library=default_library(), axis=AXIS, seed=0)
+    rig = MassFlowControllerRig(instrument, seed=0)
+    chain = MSToolchain(TASK, axis=AXIS, provenance=tracker)
+
+    measurements, m_id = chain.collect_reference_measurements(rig, 6)
+    simulator, _, s_id = chain.build_simulator(measurements, m_id)
+    dataset, d_id = chain.generate_training_data(
+        simulator, 400, np.random.default_rng(0), s_id
+    )
+    service = TrainingService(TrainingConfig(epochs=2), provenance=tracker)
+    service.train_all(
+        [mlp_topology(len(TASK), hidden_units=(16,)),
+         mlp_topology(len(TASK), hidden_units=(8, 8))],
+        dataset,
+        dataset_artifact=d_id,
+    )
+    return store, tracker, {"measurements": m_id, "simulator": s_id,
+                            "dataset": d_id}
+
+
+class TestAuditQueries:
+    def test_which_measurements_trained_which_network(self, audited_store):
+        """The paper's stated reason for the database."""
+        _, tracker, ids = audited_store
+        networks = tracker.find("network")
+        assert len(networks) == 2
+        for network in networks:
+            ancestors = tracker.ancestors(network["_id"])
+            assert ids["measurements"] in ancestors
+            assert ids["simulator"] in ancestors
+
+    def test_networks_queryable_by_quality(self, audited_store):
+        store, tracker, _ = audited_store
+        networks = tracker.find("network")
+        maes = sorted(n["metadata"]["val_mae"] for n in networks)
+        good = store.collection("artifacts").find(
+            {"kind": "network", "metadata.val_mae": {"$lte": maes[0]}}
+        )
+        assert len(good) == 1
+
+    def test_simulator_records_characterization_stats(self, audited_store):
+        _, tracker, ids = audited_store
+        simulator = tracker.get(ids["simulator"])
+        assert simulator["metadata"]["n_measurements"] == 6 * 14
+        assert simulator["metadata"]["n_peaks_used"] > 0
+
+    def test_store_roundtrip_preserves_audit_trail(self, audited_store, tmp_path):
+        store, tracker, ids = audited_store
+        path = tmp_path / "audit.json"
+        store.save(path)
+        reloaded = ProvenanceTracker(DocumentStore(path))
+        networks = reloaded.find("network")
+        assert len(networks) == 2
+        assert ids["measurements"] in reloaded.ancestors(networks[0]["_id"])

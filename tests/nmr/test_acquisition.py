@@ -1,0 +1,107 @@
+"""Unit tests for the virtual NMR spectrometers."""
+
+import numpy as np
+import pytest
+
+from repro.nmr.acquisition import NMRSpectrum, VirtualNMRSpectrometer
+from repro.nmr.hard_model import ChemicalShiftAxis, mndpa_reaction_models
+
+MODELS = mndpa_reaction_models()
+CONC = {"p-toluidine": 0.3, "Li-toluidide": 0.1, "o-FNB": 0.4, "MNDPA": 0.05}
+
+
+class TestNMRSpectrum:
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="axis points"):
+            NMRSpectrum(ChemicalShiftAxis(), np.zeros(10))
+
+    def test_integral_proportional_to_concentration(self):
+        quiet = VirtualNMRSpectrometer(
+            MODELS, noise_sigma=0.0, shift_jitter=0.0, broadening_jitter=0.0,
+            baseline_amplitude=0.0, phase_error_sigma=0.0, peak_jitter=0.0,
+            matrix_shift_coeff=0.0,
+        )
+        s1 = quiet.acquire({"MNDPA": 0.1})
+        s2 = quiet.acquire({"MNDPA": 0.2})
+        # NH peak at ~9.42 ppm is isolated; its area must double.
+        a1 = s1.integral(9.0, 9.9)
+        a2 = s2.integral(9.0, 9.9)
+        assert a2 == pytest.approx(2 * a1, rel=0.01)
+
+    def test_integral_validation(self):
+        spectrum = NMRSpectrum(ChemicalShiftAxis(), np.zeros(1700))
+        with pytest.raises(ValueError):
+            spectrum.integral(5.0, 4.0)
+
+
+class TestSpectrometer:
+    def test_acquire_shape_and_metadata(self):
+        spectrometer = VirtualNMRSpectrometer.benchtop(MODELS)
+        spectrum = spectrometer.acquire(CONC)
+        assert len(spectrum) == 1700
+        assert spectrum.metadata["field_mhz"] == 43.0
+        assert spectrum.metadata["concentrations"] == CONC
+
+    def test_repeated_acquisitions_differ(self):
+        spectrometer = VirtualNMRSpectrometer.benchtop(MODELS)
+        a = spectrometer.acquire(CONC).intensities
+        b = spectrometer.acquire(CONC).intensities
+        assert not np.array_equal(a, b)
+
+    def test_highfield_has_less_noise_and_narrower_lines(self):
+        bench = VirtualNMRSpectrometer.benchtop(MODELS, seed=1)
+        high = VirtualNMRSpectrometer.highfield(MODELS, seed=1)
+        b = bench.acquire(CONC)
+        h = high.acquire(CONC)
+        # Noise: standard deviation in an empty region (4.5-5.5 ppm).
+        grid = b.ppm
+        empty = (grid > 4.5) & (grid < 5.5)
+        assert h.intensities[empty].std() < b.intensities[empty].std() / 3
+        # Resolution: high-field peaks are taller for the same area.
+        assert h.intensities.max() > b.intensities.max()
+
+    def test_empty_components_are_skipped(self):
+        spectrometer = VirtualNMRSpectrometer.benchtop(MODELS)
+        spectrum = spectrometer.acquire({"MNDPA": 0.0})
+        # Only baseline + noise remain.
+        assert np.abs(spectrum.intensities).max() < 0.2
+
+    def test_negative_concentration_rejected(self):
+        spectrometer = VirtualNMRSpectrometer.benchtop(MODELS)
+        with pytest.raises(ValueError, match="negative"):
+            spectrometer.acquire({"MNDPA": -0.1})
+
+    def test_matrix_shift_grows_with_load(self):
+        quiet = VirtualNMRSpectrometer(
+            MODELS, noise_sigma=0.0, shift_jitter=0.0, broadening_jitter=0.0,
+            baseline_amplitude=0.0, phase_error_sigma=0.0, peak_jitter=0.0,
+            matrix_shift_coeff=0.02,
+        )
+        lo = quiet.acquire({"MNDPA": 0.05})
+        hi = quiet.acquire({"MNDPA": 0.05, "o-FNB": 1.5})
+        grid = lo.ppm
+        nh = (grid > 9.0) & (grid < 9.9)
+        peak_lo = grid[nh][np.argmax(lo.intensities[nh])]
+        peak_hi = grid[nh][np.argmax(hi.intensities[nh])]
+        assert peak_hi > peak_lo
+
+    def test_seeded_reproducibility(self):
+        a = VirtualNMRSpectrometer.benchtop(MODELS, seed=42).acquire(CONC)
+        b = VirtualNMRSpectrometer.benchtop(MODELS, seed=42).acquire(CONC)
+        np.testing.assert_array_equal(a.intensities, b.intensities)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            VirtualNMRSpectrometer(MODELS, field_mhz=0.0)
+        with pytest.raises(ValueError):
+            VirtualNMRSpectrometer(MODELS, noise_sigma=-1.0)
+        with pytest.raises(ValueError):
+            VirtualNMRSpectrometer(MODELS, broadening_factor=0.0)
+
+    def test_external_rng_overrides_internal(self):
+        spectrometer = VirtualNMRSpectrometer.benchtop(MODELS)
+        rng = np.random.default_rng(0)
+        a = spectrometer.acquire(CONC, rng=np.random.default_rng(0)).intensities
+        b = spectrometer.acquire(CONC, rng=np.random.default_rng(0)).intensities
+        np.testing.assert_array_equal(a, b)
+        _ = rng

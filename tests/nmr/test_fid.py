@@ -1,0 +1,143 @@
+"""Unit tests for FID synthesis and Fourier processing."""
+
+import numpy as np
+import pytest
+
+from repro.nmr.fid import AcquisitionParameters, FIDSynthesizer, fid_to_spectrum
+from repro.nmr.hard_model import HardModelSet, Peak, PureComponentModel
+
+
+def _single_line_models(center=5.0, fwhm=0.05, area=1.0):
+    model = PureComponentModel("X", (Peak(center, area, fwhm, eta=1.0),))
+    return HardModelSet([model])
+
+
+PARAMS = AcquisitionParameters(
+    spectrometer_mhz=43.0, n_points=4096, acquisition_time_s=2.0,
+    carrier_ppm=5.0, zero_fill_factor=2,
+)
+
+
+class TestParameters:
+    def test_derived_quantities(self):
+        assert PARAMS.dwell_time_s == pytest.approx(2.0 / 4096)
+        assert PARAMS.spectral_width_hz == pytest.approx(2048.0)
+        assert PARAMS.spectral_width_ppm == pytest.approx(2048.0 / 43.0)
+
+    def test_ppm_axis_centered_on_carrier(self):
+        axis = PARAMS.ppm_axis()
+        assert axis.min() < PARAMS.carrier_ppm < axis.max()
+        assert axis.size == 4096 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcquisitionParameters(spectrometer_mhz=0.0)
+        with pytest.raises(ValueError):
+            AcquisitionParameters(n_points=4)
+        with pytest.raises(ValueError):
+            AcquisitionParameters(zero_fill_factor=0)
+
+
+class TestSynthesis:
+    def test_fid_starts_at_total_magnetization(self):
+        models = _single_line_models(area=2.0)
+        fid = FIDSynthesizer(models, PARAMS).synthesize({"X": 0.5})
+        # At t=0 every spin contributes in phase: amplitude = c * area.
+        assert fid[0] == pytest.approx(1.0)
+
+    def test_fid_decays(self):
+        models = _single_line_models(fwhm=0.1)
+        fid = FIDSynthesizer(models, PARAMS).synthesize({"X": 1.0})
+        assert abs(fid[-1]) < abs(fid[0]) * 0.01
+
+    def test_noise_requires_rng(self):
+        models = _single_line_models()
+        with pytest.raises(ValueError, match="rng"):
+            FIDSynthesizer(models, PARAMS).synthesize({"X": 1.0}, noise_sigma=0.1)
+
+    def test_negative_concentration_rejected(self):
+        models = _single_line_models()
+        with pytest.raises(ValueError, match="negative"):
+            FIDSynthesizer(models, PARAMS).synthesize({"X": -1.0})
+
+    def test_zero_mixture_gives_zero_fid(self):
+        models = _single_line_models()
+        fid = FIDSynthesizer(models, PARAMS).synthesize({"X": 0.0})
+        np.testing.assert_array_equal(fid, 0.0)
+
+
+class TestProcessing:
+    def test_peak_appears_at_line_position(self):
+        models = _single_line_models(center=6.2)
+        fid = FIDSynthesizer(models, PARAMS).synthesize({"X": 1.0})
+        spectrum = fid_to_spectrum(fid, PARAMS)
+        axis = PARAMS.ppm_axis()
+        assert axis[np.argmax(spectrum)] == pytest.approx(6.2, abs=0.01)
+
+    def test_linewidth_matches_t2(self):
+        """FT of exp(-t/T2) has FWHM 1/(pi*T2): the model FWHM round-trips."""
+        fwhm_ppm = 0.08
+        models = _single_line_models(center=5.0, fwhm=fwhm_ppm)
+        fid = FIDSynthesizer(models, PARAMS).synthesize({"X": 1.0})
+        spectrum = fid_to_spectrum(fid, PARAMS)
+        axis = PARAMS.ppm_axis()
+        half = spectrum.max() / 2
+        peak = int(np.argmax(spectrum))
+        # Interpolate the half-max crossings for sub-grid-step precision.
+        left = np.interp(
+            half, spectrum[: peak + 1], axis[: peak + 1]
+        )
+        right = np.interp(
+            half, spectrum[peak:][::-1], axis[peak:][::-1]
+        )
+        measured_fwhm = right - left
+        assert measured_fwhm == pytest.approx(fwhm_ppm, rel=0.05)
+
+    def test_peak_area_proportional_to_concentration(self):
+        models = _single_line_models()
+        synthesizer = FIDSynthesizer(models, PARAMS)
+        axis = PARAMS.ppm_axis()
+        step = axis[1] - axis[0]
+        areas = []
+        for c in (0.2, 0.4):
+            spectrum = fid_to_spectrum(synthesizer.synthesize({"X": c}), PARAMS)
+            areas.append(spectrum.sum() * step)
+        assert areas[1] == pytest.approx(2 * areas[0], rel=0.01)
+
+    def test_line_broadening_widens_and_lowers_peak(self):
+        models = _single_line_models(fwhm=0.02)
+        fid = FIDSynthesizer(models, PARAMS).synthesize({"X": 1.0})
+        sharp = fid_to_spectrum(fid, PARAMS)
+        broadened_params = AcquisitionParameters(
+            spectrometer_mhz=43.0, n_points=4096, acquisition_time_s=2.0,
+            carrier_ppm=5.0, zero_fill_factor=2, line_broadening_hz=3.0,
+        )
+        broad = fid_to_spectrum(fid, broadened_params)
+        assert broad.max() < sharp.max()
+
+    def test_wrong_fid_length_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            fid_to_spectrum(np.zeros(16, dtype=complex), PARAMS)
+
+    def test_consistency_with_hard_model_lineshape(self):
+        """The FT spectrum matches the analytic Lorentzian evaluation of
+        the same hard model (same center, width, area scale)."""
+        from repro.nmr.hard_model import ChemicalShiftAxis
+
+        center, fwhm = 5.5, 0.1
+        models = _single_line_models(center=center, fwhm=fwhm)
+        fine = AcquisitionParameters(
+            spectrometer_mhz=43.0, n_points=4096, acquisition_time_s=2.0,
+            carrier_ppm=5.0, zero_fill_factor=8,
+        )
+        fid = FIDSynthesizer(models, fine).synthesize({"X": 1.0})
+        ft_spectrum = fid_to_spectrum(fid, fine)
+        ppm = fine.ppm_axis()
+
+        window = (ppm > center - 0.5) & (ppm < center + 0.5)
+        # Analytic spectrum in area-per-ppm; FT spectrum in area-per-Hz.
+        axis = ChemicalShiftAxis(center - 0.5, center + 0.5, int(window.sum()))
+        analytic = models["X"].evaluate(axis) / PARAMS.spectrometer_mhz
+        measured = np.interp(axis.values(), ppm, ft_spectrum)
+        peak_ratio = measured.max() / analytic.max()
+        assert peak_ratio == pytest.approx(1.0, rel=0.08)

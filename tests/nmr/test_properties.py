@@ -1,0 +1,94 @@
+"""Property-based tests for the NMR substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nmr.hard_model import ChemicalShiftAxis, mndpa_reaction_models
+from repro.nmr.ihm import IHMAnalysis
+from repro.nmr.lineshapes import gaussian, lorentzian, pseudo_voigt
+
+settings.register_profile("repro_nmr", deadline=None, max_examples=20)
+settings.load_profile("repro_nmr")
+
+MODELS = mndpa_reaction_models()
+GRID = np.linspace(-20.0, 30.0, 20_001)
+DX = GRID[1] - GRID[0]
+
+centers = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+fwhms = st.floats(min_value=0.05, max_value=2.0, allow_nan=False)
+etas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestLineshapeProperties:
+    @given(centers, fwhms, etas)
+    def test_pseudo_voigt_positive(self, center, fwhm, eta):
+        assert np.all(pseudo_voigt(GRID, center, fwhm, eta) >= 0)
+
+    @given(centers, fwhms, etas)
+    def test_pseudo_voigt_between_components(self, center, fwhm, eta):
+        pv = pseudo_voigt(GRID, center, fwhm, eta)
+        lo = lorentzian(GRID, center, fwhm)
+        ga = gaussian(GRID, center, fwhm)
+        lower = np.minimum(lo, ga) - 1e-12
+        upper = np.maximum(lo, ga) + 1e-12
+        assert np.all(pv >= lower) and np.all(pv <= upper)
+
+    @given(centers, fwhms)
+    def test_gaussian_narrower_waist_than_lorentzian(self, center, fwhm):
+        # Same FWHM: the Gaussian peak is taller (area goes to the center).
+        assert gaussian(np.array([center]), center, fwhm)[0] >= \
+            lorentzian(np.array([center]), center, fwhm)[0]
+
+
+concentration_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=4,
+    max_size=4,
+)
+
+
+class TestMixtureProperties:
+    @given(concentration_arrays)
+    def test_mixture_spectrum_nonnegative(self, conc):
+        mapping = dict(zip(MODELS.names, conc))
+        spectrum = MODELS.mixture_spectrum(mapping)
+        assert np.all(spectrum >= -1e-12)
+
+    @given(concentration_arrays, st.floats(min_value=0.1, max_value=5.0))
+    def test_mixture_homogeneity(self, conc, scale):
+        base = MODELS.mixture_spectrum(dict(zip(MODELS.names, conc)))
+        scaled = MODELS.mixture_spectrum(
+            dict(zip(MODELS.names, [c * scale for c in conc]))
+        )
+        np.testing.assert_allclose(scaled, base * scale, rtol=1e-9, atol=1e-12)
+
+    @given(concentration_arrays)
+    def test_total_area_is_weighted_sum_of_nuclei(self, conc):
+        mapping = dict(zip(MODELS.names, conc))
+        axis = MODELS.axis
+        spectrum = MODELS.mixture_spectrum(mapping)
+        # On the truncated axis a few Lorentzian tails leave the window, so
+        # allow a modest tolerance.
+        expected = sum(
+            c * MODELS[name].total_area for name, c in mapping.items()
+        )
+        measured = spectrum.sum() * axis.step
+        assert measured <= expected * 1.02 + 1e-9
+        assert measured >= expected * 0.80 - 1e-9
+
+
+class TestIHMProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.02, max_value=0.5, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        )
+    )
+    def test_ihm_roundtrip_on_clean_mixtures(self, conc):
+        mapping = dict(zip(MODELS.names, conc))
+        ihm = IHMAnalysis(MODELS, fit_shifts=False, fit_broadening=False)
+        result = ihm.analyze(MODELS.mixture_spectrum(mapping))
+        for name, expected in mapping.items():
+            assert abs(result.concentrations[name] - expected) < 0.01

@@ -1,0 +1,78 @@
+"""Deeper kinetics tests: limiting reagents and conversion regimes."""
+
+import numpy as np
+import pytest
+
+from repro.nmr.reaction import ReactionConditions, ReactionKinetics
+
+KINETICS = ReactionKinetics()
+
+
+class TestLimitingReagent:
+    def test_ofnb_limits_product(self):
+        """With o-FNB sub-stoichiometric, MNDPA cannot exceed the o-FNB feed."""
+        conditions = ReactionConditions(
+            feed_toluidine=0.5, feed_lihmds=0.6, feed_ofnb=0.1,
+            temperature_c=60.0 if False else 40.0, residence_time_s=600.0,
+        )
+        out = KINETICS.outlet_concentrations(conditions)
+        assert out["MNDPA"] <= 0.1 + 1e-9
+
+    def test_lihmds_limits_activation(self):
+        """Without base, no intermediate and no product form."""
+        conditions = ReactionConditions(
+            feed_toluidine=0.5, feed_lihmds=0.0, feed_ofnb=0.5,
+            residence_time_s=600.0,
+        )
+        out = KINETICS.outlet_concentrations(conditions)
+        assert out["Li-toluidide"] == pytest.approx(0.0, abs=1e-9)
+        assert out["MNDPA"] == pytest.approx(0.0, abs=1e-9)
+        assert out["p-toluidine"] == pytest.approx(0.5, rel=1e-6)
+
+    def test_toluidine_skeleton_never_exceeds_feed(self):
+        for tau in (10.0, 100.0, 1000.0):
+            out = KINETICS.outlet_concentrations(
+                ReactionConditions(residence_time_s=tau)
+            )
+            skeleton = out["p-toluidine"] + out["Li-toluidide"] + out["MNDPA"]
+            assert skeleton <= 0.5 + 1e-9
+
+
+class TestConversionRegimes:
+    def test_conversion_monotone_in_residence_time(self):
+        taus = [20.0, 60.0, 180.0, 540.0]
+        products = [
+            KINETICS.outlet_concentrations(
+                ReactionConditions(residence_time_s=tau)
+            )["MNDPA"]
+            for tau in taus
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(products, products[1:]))
+
+    def test_very_long_residence_time_approaches_full_conversion(self):
+        out = KINETICS.outlet_concentrations(
+            ReactionConditions(
+                feed_toluidine=0.5, feed_lihmds=0.7, feed_ofnb=0.7,
+                temperature_c=40.0, residence_time_s=50_000.0,
+            )
+        )
+        # A with excess B and C converts almost completely to product.
+        assert out["MNDPA"] > 0.45
+        assert out["p-toluidine"] < 0.02
+
+    def test_intermediate_peaks_then_falls(self):
+        """The intermediate rises early and is consumed at long times."""
+        early = KINETICS.outlet_concentrations(
+            ReactionConditions(residence_time_s=60.0)
+        )["Li-toluidide"]
+        late = KINETICS.outlet_concentrations(
+            ReactionConditions(
+                feed_lihmds=0.6, feed_ofnb=0.7, residence_time_s=50_000.0
+            )
+        )["Li-toluidide"]
+        assert early > late
+
+    def test_arrhenius_consistency_across_kinetics_instances(self):
+        hot = ReactionKinetics(t_ref_c=40.0)
+        k1_hot_ref, _ = hot.rate_constants(40.0)
+        assert k1_hot_ref == pytest.approx(hot.k1_ref)

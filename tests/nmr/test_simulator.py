@@ -1,0 +1,154 @@
+"""Unit tests for the IHM-based data-augmentation simulator."""
+
+import numpy as np
+import pytest
+
+from repro.nmr.acquisition import VirtualNMRSpectrometer
+from repro.nmr.hard_model import mndpa_reaction_models
+from repro.nmr.reaction import DoEPlan, FlowReactorExperiment, ReactionKinetics
+from repro.nmr.simulator import NMRSpectrumSimulator
+
+MODELS = mndpa_reaction_models()
+RANGES = {
+    "p-toluidine": (0.0, 0.5),
+    "Li-toluidide": (0.0, 0.5),
+    "o-FNB": (0.0, 0.6),
+    "MNDPA": (0.0, 0.45),
+}
+
+
+def _simulator(**kwargs):
+    return NMRSpectrumSimulator(MODELS, RANGES, **kwargs)
+
+
+class TestConstruction:
+    def test_missing_range_rejected(self):
+        with pytest.raises(ValueError, match="no concentration range"):
+            NMRSpectrumSimulator(MODELS, {"MNDPA": (0.0, 1.0)})
+
+    def test_invalid_range_rejected(self):
+        bad = dict(RANGES)
+        bad["MNDPA"] = (0.5, 0.1)
+        with pytest.raises(ValueError, match="invalid range"):
+            NMRSpectrumSimulator(MODELS, bad)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            _simulator(noise_sigma=-0.1)
+
+    def test_from_dataset_pads_ranges(self):
+        experiment = FlowReactorExperiment(
+            ReactionKinetics(), VirtualNMRSpectrometer.benchtop(MODELS)
+        )
+        plan = DoEPlan.full_factorial(
+            residence_times_s=(30.0, 120.0),
+            temperatures_c=(25.0,),
+            ofnb_equivalents=(1.0,),
+        )
+        dataset = experiment.run(plan, 3)
+        simulator = NMRSpectrumSimulator.from_dataset(
+            MODELS, dataset, range_padding=0.2
+        )
+        for name, (low, high) in dataset.concentration_ranges().items():
+            sim_low, sim_high = simulator.ranges[name]
+            assert sim_low <= low
+            assert sim_high >= high
+
+
+class TestSampling:
+    def test_concentrations_within_ranges(self):
+        simulator = _simulator()
+        samples = simulator.sample_concentrations(200, np.random.default_rng(0))
+        assert samples.shape == (200, 4)
+        for j, name in enumerate(MODELS.names):
+            low, high = RANGES[name]
+            assert samples[:, j].min() >= low
+            assert samples[:, j].max() <= high
+
+    def test_sampling_is_independent_across_components(self):
+        simulator = _simulator()
+        samples = simulator.sample_concentrations(3000, np.random.default_rng(1))
+        corr = np.corrcoef(samples.T)
+        off_diagonal = corr[~np.eye(4, dtype=bool)]
+        assert np.abs(off_diagonal).max() < 0.1
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            _simulator().sample_concentrations(0, np.random.default_rng(0))
+
+
+class TestGeneration:
+    def test_shapes(self):
+        x, y = _simulator().generate_dataset(32, np.random.default_rng(0))
+        assert x.shape == (32, 1700)
+        assert y.shape == (32, 4)
+
+    def test_chunking_does_not_change_labels(self):
+        simulator = _simulator()
+        _, y1 = simulator.generate_dataset(50, np.random.default_rng(3), chunk_size=7)
+        _, y2 = simulator.generate_dataset(50, np.random.default_rng(3), chunk_size=50)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_noise_free_generation_is_pure_mixture_model(self):
+        simulator = _simulator()
+        labels = np.array([[0.3, 0.1, 0.4, 0.05]])
+        x, _ = simulator.generate_dataset(
+            1, np.random.default_rng(0), concentrations=labels, with_noise=False
+        )
+        expected = MODELS.mixture_spectrum(
+            dict(zip(MODELS.names, labels[0]))
+        )
+        np.testing.assert_allclose(x[0], expected, atol=1e-10)
+
+    def test_explicit_concentrations_returned_as_labels(self):
+        simulator = _simulator()
+        labels = np.tile([[0.2, 0.2, 0.2, 0.2]], (5, 1))
+        _, y = simulator.generate_dataset(
+            5, np.random.default_rng(0), concentrations=labels
+        )
+        np.testing.assert_array_equal(y, labels)
+
+    def test_bad_concentration_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            _simulator().generate_dataset(
+                4, np.random.default_rng(0), concentrations=np.ones((4, 2))
+            )
+
+    def test_noisy_spectra_differ_between_samples(self):
+        simulator = _simulator()
+        labels = np.tile([[0.3, 0.1, 0.4, 0.05]], (2, 1))
+        x, _ = simulator.generate_dataset(
+            2, np.random.default_rng(0), concentrations=labels
+        )
+        assert not np.allclose(x[0], x[1])
+
+    def test_phase_errors_create_asymmetry(self):
+        """With a large phase sigma the NH line becomes visibly asymmetric."""
+        simulator = _simulator(
+            phase_sigma=0.5, noise_sigma=0.0, baseline_amplitude=0.0,
+            shift_sigma=0.0, broadening_sigma=0.0, peak_jitter=0.0,
+        )
+        labels = np.array([[0.0, 0.0, 0.0, 0.4]])
+        rng = np.random.default_rng(5)
+        x, _ = simulator.generate_dataset(1, rng, concentrations=labels)
+        grid = MODELS.axis.values()
+        window = (grid > 9.0) & (grid < 9.9)
+        segment = x[0][window]
+        assert not np.allclose(segment, segment[::-1], atol=1e-3)
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            _simulator().generate_dataset(
+                4, np.random.default_rng(0), chunk_size=0
+            )
+
+    def test_scaling_linearity_without_noise(self):
+        simulator = _simulator()
+        ones = np.array([[0.1, 0.1, 0.1, 0.1]])
+        x1, _ = simulator.generate_dataset(
+            1, np.random.default_rng(0), concentrations=ones, with_noise=False
+        )
+        x2, _ = simulator.generate_dataset(
+            1, np.random.default_rng(0), concentrations=2 * ones, with_noise=False
+        )
+        np.testing.assert_allclose(x2, 2 * x1, rtol=1e-9)

@@ -1,0 +1,112 @@
+"""Unit tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import activations as act
+from tests.nn.gradcheck import numeric_grad
+
+
+ALL_ACTIVATIONS = [act.linear, act.relu, act.selu, act.sigmoid, act.tanh, act.softmax]
+
+
+class TestForward:
+    def test_linear_is_identity(self):
+        x = np.array([-2.0, 0.0, 3.5])
+        np.testing.assert_array_equal(act.linear.forward(x), x)
+
+    def test_relu_clamps_negatives(self):
+        x = np.array([-2.0, -0.1, 0.0, 0.1, 2.0])
+        np.testing.assert_array_equal(
+            act.relu.forward(x), [0.0, 0.0, 0.0, 0.1, 2.0]
+        )
+
+    def test_selu_positive_branch_is_scaled_identity(self):
+        x = np.array([0.5, 1.0, 3.0])
+        np.testing.assert_allclose(act.selu.forward(x), 1.0507009873554805 * x)
+
+    def test_selu_negative_saturation(self):
+        # As x -> -inf, selu -> -scale*alpha ~= -1.7581
+        value = act.selu.forward(np.array([-50.0]))[0]
+        assert value == pytest.approx(-1.7580993408473766, rel=1e-6)
+
+    def test_selu_mean_variance_preserving(self):
+        # The self-normalizing property: unit-Gaussian input stays roughly
+        # zero-mean/unit-variance through the activation.
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.0, 1.0, size=200_000)
+        y = act.selu.forward(x)
+        assert abs(y.mean()) < 0.02
+        assert abs(y.std() - 1.0) < 0.02
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-10, 10, 101)
+        y = act.sigmoid.forward(x)
+        assert np.all((y > 0) & (y < 1))
+        np.testing.assert_allclose(y + y[::-1], 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_inputs_do_not_overflow(self):
+        y = act.sigmoid.forward(np.array([-1000.0, 1000.0]))
+        np.testing.assert_allclose(y, [0.0, 1.0], atol=1e-12)
+
+    def test_softmax_sums_to_one_along_last_axis(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 7, 5))
+        y = act.softmax.forward(x)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, atol=1e-12)
+        assert np.all(y > 0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(
+            act.softmax.forward(x), act.softmax.forward(x + 100.0), atol=1e-12
+        )
+
+    def test_softmax_handles_large_logits(self):
+        y = act.softmax.forward(np.array([[1000.0, 0.0, -1000.0]]))
+        assert np.isfinite(y).all()
+        assert y[0, 0] == pytest.approx(1.0)
+
+
+class TestBackward:
+    @pytest.mark.parametrize("activation", ALL_ACTIVATIONS, ids=lambda a: a.name)
+    def test_gradient_matches_numeric(self, activation):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 5))
+        # Keep ReLU away from its kink for stable finite differences.
+        if activation.name == "relu":
+            x = x + np.sign(x) * 0.1
+        upstream = rng.normal(size=x.shape)
+
+        def loss():
+            return float(np.sum(activation.forward(x) * upstream))
+
+        y = activation.forward(x)
+        analytic = activation.backward(upstream, x, y)
+        numeric = numeric_grad(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6, rtol=1e-5)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert act.get_activation("selu") is act.selu
+        assert act.get_activation("SELU") is act.selu
+
+    def test_paper_figure5_aliases(self):
+        # Fig. 5 of the paper abbreviates softmax as "sftm", linear as "lin".
+        assert act.get_activation("sftm") is act.softmax
+        assert act.get_activation("lin") is act.linear
+
+    def test_none_means_linear(self):
+        assert act.get_activation(None) is act.linear
+
+    def test_instance_passthrough(self):
+        assert act.get_activation(act.relu) is act.relu
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            act.get_activation("swish")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            act.get_activation(3.14)

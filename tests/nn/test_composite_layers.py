@@ -1,0 +1,72 @@
+"""Unit + gradient tests for ResidualDense and HighwayDense."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.layers.composite import HighwayDense, ResidualDense
+from tests.nn.gradcheck import check_layer_gradients
+
+
+class TestResidualDense:
+    def test_preserves_dimensionality(self):
+        layer = ResidualDense()
+        layer.build((8,), np.random.default_rng(0))
+        assert layer.output_shape == (8,)
+        assert layer.count_params() == 8 * 8 + 8
+
+    def test_zero_weights_give_identity_plus_bias_activation(self):
+        layer = ResidualDense(activation="linear")
+        layer.build((4,), np.random.default_rng(0))
+        layer.params["W"] = np.zeros((4, 4))
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_gradients(self):
+        check_layer_gradients(ResidualDense(activation="tanh"), (3, 6), seed=40)
+
+    def test_rejects_conv_shaped_input(self):
+        with pytest.raises(ValueError, match="flat"):
+            ResidualDense().build((8, 2), np.random.default_rng(0))
+
+    def test_trains_in_model(self):
+        model = nn.Sequential([nn.Dense(16, activation="tanh"),
+                               ResidualDense("relu"), nn.Dense(1)])
+        model.build((4,), seed=0)
+        model.compile("adam", "mse")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 4))
+        y = x.sum(axis=1, keepdims=True)
+        before = model.evaluate(x, y)
+        model.fit(x, y, epochs=20, batch_size=32, seed=0)
+        assert model.evaluate(x, y) < before
+
+
+class TestHighwayDense:
+    def test_preserves_dimensionality_and_params(self):
+        layer = HighwayDense()
+        layer.build((8,), np.random.default_rng(0))
+        assert layer.output_shape == (8,)
+        assert layer.count_params() == 2 * (8 * 8 + 8)
+
+    def test_negative_transform_bias_initially_passes_input(self):
+        layer = HighwayDense(transform_bias=-20.0)
+        layer.build((5,), np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        np.testing.assert_allclose(layer.forward(x), x, atol=1e-6)
+
+    def test_gradients(self):
+        check_layer_gradients(
+            HighwayDense(activation="tanh", transform_bias=0.0), (3, 5), seed=41
+        )
+
+    def test_rejects_conv_shaped_input(self):
+        with pytest.raises(ValueError, match="flat"):
+            HighwayDense().build((8, 2), np.random.default_rng(0))
+
+    def test_serialization_roundtrip(self, tmp_path):
+        model = nn.Sequential([HighwayDense("selu"), ResidualDense("relu"), nn.Dense(2)])
+        model.build((6,), seed=0)
+        x = np.random.default_rng(2).normal(size=(4, 6))
+        path = nn.save_model(model, tmp_path / "composite.npz")
+        np.testing.assert_allclose(nn.load_model(path).predict(x), model.predict(x))

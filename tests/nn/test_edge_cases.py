@@ -1,0 +1,120 @@
+"""Edge-case and robustness tests for the nn framework."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestSingleSample:
+    def test_fit_with_batch_size_larger_than_dataset(self):
+        model = nn.Sequential([nn.Dense(2)])
+        model.build((3,), seed=0)
+        model.compile("adam", "mse")
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        y = np.zeros((5, 2))
+        history = model.fit(x, y, epochs=2, batch_size=100)
+        assert len(history["loss"]) == 2
+
+    def test_predict_single_sample(self):
+        model = nn.Sequential([nn.Reshape((-1, 1)), nn.Conv1D(2, 3), nn.Flatten(), nn.Dense(2)])
+        model.build((10,), seed=0)
+        assert model.predict(np.zeros((1, 10))).shape == (1, 2)
+
+    def test_lstm_single_timestep(self):
+        model = nn.Sequential([nn.LSTM(4)])
+        model.build((1, 6), seed=0)
+        assert model.predict(np.zeros((2, 1, 6))).shape == (2, 4)
+
+
+class TestNumericalExtremes:
+    def test_huge_inputs_do_not_overflow_softmax_model(self):
+        model = nn.Sequential([nn.Dense(4, activation="softmax")])
+        model.build((3,), seed=0)
+        out = model.predict(np.full((2, 3), 1e6))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_training_with_zero_inputs(self):
+        model = nn.Sequential([nn.Dense(4, activation="selu"), nn.Dense(2)])
+        model.build((5,), seed=0)
+        model.compile("adam", "mae")
+        loss = model.train_on_batch(np.zeros((8, 5)), np.ones((8, 2)))
+        assert np.isfinite(loss)
+
+    def test_constant_target_learned_exactly(self):
+        model = nn.Sequential([nn.Dense(1)])
+        model.build((2,), seed=0)
+        model.compile(nn.Adam(0.05), "mse")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 2))
+        y = np.full((64, 1), 0.7)
+        model.fit(x, y, epochs=100, batch_size=16, seed=0)
+        pred = model.predict(x)
+        np.testing.assert_allclose(pred, 0.7, atol=0.05)
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_identical(self):
+        def run():
+            model = nn.Sequential([nn.Dense(8, activation="tanh"), nn.Dense(2)])
+            model.build((4,), seed=3)
+            model.compile(nn.Adam(0.01), "mse")
+            rng = np.random.default_rng(1)
+            x = rng.normal(size=(32, 4))
+            y = rng.normal(size=(32, 2))
+            model.fit(x, y, epochs=5, batch_size=8, seed=9)
+            return model.predict(x)
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_different_seeds_give_different_weights(self):
+        spec = [nn.Dense(8), nn.Dense(2)]
+        a = nn.Sequential([nn.Dense(8), nn.Dense(2)])
+        a.build((4,), seed=0)
+        b = nn.Sequential([nn.Dense(8), nn.Dense(2)])
+        b.build((4,), seed=1)
+        assert not np.allclose(a.get_weights()[0], b.get_weights()[0])
+        _ = spec
+
+
+class TestDeepStacks:
+    def test_ten_layer_selu_network_trains(self):
+        """SELU + LeCun init should keep activations sane in deep stacks."""
+        layers = [nn.Dense(32, activation="selu",
+                           kernel_initializer="lecun_normal")
+                  for _ in range(10)]
+        model = nn.Sequential(layers + [nn.Dense(1)])
+        model.build((16,), seed=0)
+        model.compile(nn.Adam(0.001), "mse")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 16))
+        y = x[:, :1] * 0.5
+        history = model.fit(x, y, epochs=10, batch_size=32, seed=0)
+        assert history["loss"][-1] < history["loss"][0]
+        assert np.isfinite(history["loss"][-1])
+
+    def test_activation_scale_preserved_through_selu_stack(self):
+        layers = [nn.Dense(64, activation="selu",
+                           kernel_initializer="lecun_normal")
+                  for _ in range(8)]
+        model = nn.Sequential(layers)
+        model.build((64,), seed=0)
+        x = np.random.default_rng(1).normal(size=(256, 64))
+        out = model.forward(x)
+        # Self-normalization: the deep representation keeps O(1) variance.
+        assert 0.3 < out.std() < 3.0
+
+
+class TestConvStrideEdge:
+    def test_stride_equals_length_minus_kernel_plus_one(self):
+        layer = nn.Conv1D(2, 4, strides=7)
+        layer.build((11, 1), np.random.default_rng(0))
+        assert layer.output_shape == (2, 2)
+
+    def test_kernel_equals_length(self):
+        layer = nn.Conv1D(3, 10)
+        layer.build((10, 2), np.random.default_rng(0))
+        assert layer.output_shape == (1, 3)
+        x = np.random.default_rng(0).normal(size=(2, 10, 2))
+        assert layer.forward(x).shape == (2, 1, 3)

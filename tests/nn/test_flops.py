@@ -1,0 +1,109 @@
+"""Unit tests for per-layer FLOP/byte counting."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.flops import LayerCost, count_model_flops, layer_flops
+
+
+class TestDenseCost:
+    def test_flops_formula(self):
+        layer = nn.Dense(10, activation="linear")
+        layer.build((20,), np.random.default_rng(0))
+        cost = layer_flops(layer)
+        assert cost.flops == 2 * 20 * 10 + 10
+        assert cost.param_bytes == (20 * 10 + 10) * 4
+        assert cost.activation_bytes == 10 * 4
+
+    def test_activation_overhead_added(self):
+        linear = nn.Dense(10, activation="linear")
+        selu = nn.Dense(10, activation="selu")
+        for layer in (linear, selu):
+            layer.build((20,), np.random.default_rng(0))
+        assert layer_flops(selu).flops == layer_flops(linear).flops + 4 * 10
+
+
+class TestConvCost:
+    def test_conv1d_flops(self):
+        layer = nn.Conv1D(8, 5, strides=2, activation="relu")
+        layer.build((101, 3), np.random.default_rng(0))
+        out_length = (101 - 5) // 2 + 1
+        expected = 2 * 5 * 3 * 8 * out_length + 8 * out_length + out_length * 8
+        assert layer_flops(layer).flops == expected
+
+    def test_locally_connected_same_flops_as_conv(self):
+        # Unshared weights change memory, not math.
+        conv = nn.Conv1D(4, 9, strides=9, activation="linear")
+        local = nn.LocallyConnected1D(4, 9, strides=9, activation="linear")
+        conv.build((1700, 1), np.random.default_rng(0))
+        local.build((1700, 1), np.random.default_rng(0))
+        assert layer_flops(conv).flops == layer_flops(local).flops
+        assert layer_flops(local).param_bytes > layer_flops(conv).param_bytes
+
+
+class TestLSTMCost:
+    def test_scales_linearly_with_timesteps(self):
+        costs = []
+        for timesteps in (5, 10):
+            layer = nn.LSTM(32)
+            layer.build((timesteps, 100), np.random.default_rng(0))
+            costs.append(layer_flops(layer).flops)
+        assert costs[1] == 2 * costs[0]
+
+    def test_dominated_by_matmuls(self):
+        layer = nn.LSTM(32)
+        layer.build((5, 1700), np.random.default_rng(0))
+        matmul_flops = 5 * 2 * (1700 * 128 + 32 * 128)
+        assert layer_flops(layer).flops >= matmul_flops
+
+
+class TestModelCost:
+    def test_shape_layers_are_free(self):
+        for layer_cls, shape in ((nn.Flatten, (4, 2)), (nn.Reshape, (8,))):
+            layer = layer_cls((4, 2)) if layer_cls is nn.Reshape else layer_cls()
+            layer.build(shape, np.random.default_rng(0))
+            assert layer_flops(layer).flops == 0
+
+    def test_model_total_is_sum_of_layers(self):
+        model = nn.Sequential(
+            [nn.Reshape((-1, 1)), nn.Conv1D(4, 5), nn.Flatten(), nn.Dense(3)]
+        )
+        model.build((50,))
+        costs = count_model_flops(model)
+        assert len(costs) == 4
+        total = sum(c.flops for c in costs)
+        assert total == sum(layer_flops(l).flops for l in model.layers)
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(ValueError, match="built"):
+            count_model_flops(nn.Sequential([nn.Dense(2)]))
+        with pytest.raises(ValueError, match="built"):
+            layer_flops(nn.Dense(2))
+
+    def test_layercost_addition(self):
+        a = LayerCost("a", 10, 20, 30)
+        b = LayerCost("b", 1, 2, 3)
+        combined = a + b
+        assert (combined.flops, combined.param_bytes, combined.activation_bytes) == (
+            11,
+            22,
+            33,
+        )
+
+    def test_table1_network_flop_scale(self):
+        """The paper's Table 1 net should be O(1-10) MFLOPs per spectrum."""
+        model = nn.Sequential(
+            [
+                nn.Reshape((-1, 1)),
+                nn.Conv1D(25, 20, 1, activation="selu"),
+                nn.Conv1D(25, 20, 3, activation="selu"),
+                nn.Conv1D(25, 15, 2, activation="selu"),
+                nn.Conv1D(15, 15, 4, activation="softmax"),
+                nn.Flatten(),
+                nn.Dense(14, activation="softmax"),
+            ]
+        )
+        model.build((1000,))
+        total = sum(c.flops for c in count_model_flops(model))
+        assert 1e6 < total < 1e8

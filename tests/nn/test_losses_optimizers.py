@@ -1,0 +1,120 @@
+"""Unit tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MeanAbsoluteError, MeanSquaredError, get_loss
+from repro.nn.optimizers import SGD, Adam, RMSprop, get_optimizer
+from tests.nn.gradcheck import numeric_grad
+
+
+class TestLosses:
+    def test_mae_value(self):
+        loss = MeanAbsoluteError()
+        pred = np.array([[1.0, 2.0], [3.0, 4.0]])
+        target = np.array([[1.5, 2.0], [2.0, 4.0]])
+        assert loss.value(pred, target) == pytest.approx((0.5 + 1.0) / 4)
+
+    def test_mse_value(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 4.0]])
+        assert loss.value(pred, target) == pytest.approx((1.0 + 4.0) / 2)
+
+    @pytest.mark.parametrize("loss_cls", [MeanAbsoluteError, MeanSquaredError])
+    def test_gradient_matches_numeric(self, loss_cls):
+        loss = loss_cls()
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+
+        def f():
+            return loss.value(pred, target)
+
+        analytic = loss.gradient(pred, target)
+        numeric = numeric_grad(f, pred)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            MeanAbsoluteError().value(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_registry_names_and_aliases(self):
+        assert isinstance(get_loss("mae"), MeanAbsoluteError)
+        assert isinstance(get_loss("mean_squared_error"), MeanSquaredError)
+        with pytest.raises(ValueError):
+            get_loss("huber")
+
+
+def _quadratic_descent(optimizer, steps=200):
+    """Minimize f(w) = ||w||^2 from a fixed start; return final norm."""
+    w = np.array([5.0, -3.0, 2.0])
+    params = {(0, "w"): w}
+    for _ in range(steps):
+        grads = {(0, "w"): 2.0 * params[(0, "w")]}
+        optimizer.apply(params, grads)
+    return float(np.linalg.norm(params[(0, "w")]))
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        assert _quadratic_descent(SGD(learning_rate=0.1)) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert _quadratic_descent(SGD(learning_rate=0.05, momentum=0.9), steps=400) < 1e-6
+
+    def test_sgd_nesterov_converges(self):
+        assert _quadratic_descent(
+            SGD(learning_rate=0.05, momentum=0.9, nesterov=True), steps=400
+        ) < 1e-6
+
+    def test_adam_converges(self):
+        assert _quadratic_descent(Adam(learning_rate=0.3), steps=400) < 1e-4
+
+    def test_rmsprop_converges(self):
+        # RMSprop normalizes gradient magnitude, so it plateaus near the
+        # optimum at a scale set by the learning rate rather than reaching
+        # machine precision on a quadratic.
+        assert _quadratic_descent(RMSprop(learning_rate=0.05), steps=600) < 0.1
+
+    def test_adam_bias_correction_first_step(self):
+        # After one step with gradient g, Adam moves by ~lr * sign(g).
+        opt = Adam(learning_rate=0.1)
+        w = np.array([1.0])
+        params = {(0, "w"): w}
+        opt.apply(params, {(0, "w"): np.array([4.0])})
+        assert params[(0, "w")][0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+    def test_clipnorm_limits_step(self):
+        opt = SGD(learning_rate=1.0, clipnorm=1.0)
+        w = np.zeros(3)
+        params = {(0, "w"): w}
+        opt.apply(params, {(0, "w"): np.array([30.0, 40.0, 0.0])})
+        # Gradient norm 50 clipped to 1 -> step of norm 1.
+        assert np.linalg.norm(params[(0, "w")]) == pytest.approx(1.0)
+
+    def test_reset_clears_state(self):
+        opt = Adam()
+        params = {(0, "w"): np.ones(2)}
+        opt.apply(params, {(0, "w"): np.ones(2)})
+        assert opt.iterations == 1
+        opt.reset()
+        assert opt.iterations == 0
+        assert not opt._m
+
+    def test_registry(self):
+        assert isinstance(get_optimizer("adam"), Adam)
+        opt = get_optimizer({"name": "sgd", "learning_rate": 0.5, "momentum": 0.8})
+        assert opt.learning_rate == 0.5
+        with pytest.raises(ValueError):
+            get_optimizer("lamb")
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-1)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(beta_1=1.0)
+        with pytest.raises(ValueError):
+            RMSprop(rho=-0.1)

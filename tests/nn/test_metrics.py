@@ -1,0 +1,79 @@
+"""Direct unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    per_output_mae,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestKnownValues:
+    def test_mae(self):
+        pred = np.array([[1.0, 2.0], [3.0, 4.0]])
+        target = np.array([[2.0, 2.0], [3.0, 0.0]])
+        assert mean_absolute_error(pred, target) == pytest.approx(1.25)
+
+    def test_mse(self):
+        pred = np.array([[1.0], [3.0]])
+        target = np.array([[0.0], [0.0]])
+        assert mean_squared_error(pred, target) == pytest.approx(5.0)
+
+    def test_rmse(self):
+        pred = np.array([[3.0], [4.0]])
+        target = np.array([[0.0], [0.0]])
+        assert root_mean_squared_error(pred, target) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_per_output_mae(self):
+        pred = np.array([[1.0, 0.0], [1.0, 0.0]])
+        target = np.array([[0.0, 0.5], [0.0, 0.5]])
+        np.testing.assert_allclose(per_output_mae(pred, target), [1.0, 0.5])
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        y = np.random.default_rng(0).normal(size=(20, 3))
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_prediction_scores_zero(self):
+        rng = np.random.default_rng(1)
+        target = rng.normal(size=(100, 2))
+        pred = np.tile(target.mean(axis=0), (100, 1))
+        assert r2_score(pred, target) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bad_prediction_negative(self):
+        rng = np.random.default_rng(2)
+        target = rng.normal(size=(50, 1))
+        pred = -5.0 * target
+        assert r2_score(pred, target) < 0
+
+    def test_known_value(self):
+        target = np.array([[1.0], [2.0], [3.0]])
+        pred = np.array([[1.0], [2.0], [4.0]])
+        # ss_res = 1, ss_tot = 2 -> r2 = 0.5
+        assert r2_score(pred, target) == pytest.approx(0.5)
+
+    def test_constant_target_wrong_prediction_scores_zero(self):
+        target = np.ones((5, 1))
+        pred = np.zeros((5, 1))
+        assert r2_score(pred, target) == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "metric",
+        [mean_absolute_error, mean_squared_error, root_mean_squared_error,
+         r2_score, per_output_mae],
+    )
+    def test_shape_mismatch_raises(self, metric):
+        with pytest.raises(ValueError, match="mismatch"):
+            metric(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_lists_accepted(self):
+        assert mean_absolute_error([[1.0]], [[2.0]]) == 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for preprocessing scalers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.preprocessing import MinMaxScaler, StandardScaler, scaler_from_config
+
+
+RNG = np.random.default_rng(0)
+X = RNG.normal(3.0, 2.0, size=(50, 4))
+
+
+class TestStandardScaler:
+    def test_transform_zero_mean_unit_std(self):
+        z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12
+        )
+
+    def test_constant_feature_passthrough(self):
+        data = np.ones((10, 2))
+        data[:, 1] = np.arange(10)
+        z = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(z[:, 0], 0.0)
+        assert np.isfinite(z).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            StandardScaler().transform(X)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="2 samples"):
+            StandardScaler().fit(X[:1])
+
+    def test_config_roundtrip(self):
+        scaler = StandardScaler().fit(X)
+        clone = scaler_from_config(scaler.get_config())
+        np.testing.assert_allclose(clone.transform(X), scaler.transform(X))
+
+
+class TestMinMaxScaler:
+    def test_default_range(self):
+        z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self):
+        z = MinMaxScaler((-1.0, 1.0)).fit_transform(X)
+        np.testing.assert_allclose(z.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        scaler = MinMaxScaler((-2.0, 5.0)).fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-10
+        )
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1.0, 1.0))
+
+    def test_constant_feature_stays_at_low(self):
+        data = np.full((5, 1), 7.0)
+        z = MinMaxScaler().fit_transform(data)
+        np.testing.assert_allclose(z, 0.0)
+
+    def test_config_roundtrip(self):
+        scaler = MinMaxScaler((0.0, 10.0)).fit(X)
+        clone = scaler_from_config(scaler.get_config())
+        np.testing.assert_allclose(clone.transform(X), scaler.transform(X))
+
+
+class TestValidation:
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            StandardScaler().fit(np.zeros(5))
+
+    def test_unknown_scaler_config(self):
+        with pytest.raises(ValueError, match="unknown scaler"):
+            scaler_from_config({"name": "robust"})

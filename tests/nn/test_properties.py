@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for nn invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn import activations as act
+
+settings.register_profile("repro", deadline=None, max_examples=30)
+settings.load_profile("repro")
+
+finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+class TestActivationProperties:
+    @given(arrays((4, 6)))
+    def test_softmax_is_probability_simplex(self, x):
+        y = act.softmax.forward(x)
+        assert np.all(y >= 0)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(arrays((3, 5)), st.floats(min_value=-100, max_value=100))
+    def test_softmax_shift_invariance(self, x, shift):
+        np.testing.assert_allclose(
+            act.softmax.forward(x), act.softmax.forward(x + shift), atol=1e-9
+        )
+
+    @given(arrays((10,)))
+    def test_relu_idempotent(self, x):
+        once = act.relu.forward(x)
+        np.testing.assert_array_equal(act.relu.forward(once), once)
+
+    @given(arrays((10,)))
+    def test_relu_nonnegative(self, x):
+        assert np.all(act.relu.forward(x) >= 0)
+
+    @given(arrays((10,)))
+    def test_selu_monotone(self, x):
+        xs = np.sort(x)
+        ys = act.selu.forward(xs)
+        assert np.all(np.diff(ys) >= -1e-12)
+
+    @given(arrays((10,)))
+    def test_sigmoid_bounded(self, x):
+        y = act.sigmoid.forward(x)
+        assert np.all((y >= 0) & (y <= 1))
+
+
+class TestLayerProperties:
+    @given(
+        st.integers(min_value=1, max_value=4),  # batch
+        st.integers(min_value=6, max_value=30),  # length
+        st.integers(min_value=1, max_value=3),  # channels
+        st.integers(min_value=1, max_value=5),  # kernel
+        st.integers(min_value=1, max_value=3),  # stride
+    )
+    def test_conv_output_length_formula(self, n, length, channels, kernel, stride):
+        layer = nn.Conv1D(2, kernel, strides=stride)
+        layer.build((length, channels), np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(n, length, channels))
+        out = layer.forward(x)
+        assert out.shape == (n, (length - kernel) // stride + 1, 2)
+
+    @given(arrays((2, 12)))
+    def test_flatten_reshape_inverse(self, x):
+        reshape = nn.Reshape((3, 4))
+        flatten = nn.Flatten()
+        reshape.build((12,), np.random.default_rng(0))
+        flatten.build((3, 4), np.random.default_rng(0))
+        np.testing.assert_array_equal(flatten.forward(reshape.forward(x)), x)
+
+    @given(arrays((3, 8, 2)))
+    def test_maxpool_dominates_avgpool(self, x):
+        maxp, avgp = nn.MaxPool1D(2), nn.AvgPool1D(2)
+        for layer in (maxp, avgp):
+            layer.build((8, 2), np.random.default_rng(0))
+        assert np.all(maxp.forward(x) >= avgp.forward(x) - 1e-12)
+
+    @given(arrays((2, 10)))
+    def test_dense_linearity(self, x):
+        layer = nn.Dense(4, activation="linear")
+        layer.build((10,), np.random.default_rng(0))
+        y_sum = layer.forward(x[0:1] + x[1:2])
+        y_parts = layer.forward(x[0:1]) + layer.forward(x[1:2])
+        bias = layer.params["b"]
+        np.testing.assert_allclose(y_sum + bias, y_parts, atol=1e-8)
+
+
+class TestLossProperties:
+    @given(arrays((4, 3)))
+    def test_losses_zero_iff_equal(self, x):
+        for loss in (nn.MeanAbsoluteError(), nn.MeanSquaredError()):
+            assert loss.value(x, x.copy()) == 0.0
+
+    @given(arrays((4, 3)), arrays((4, 3)))
+    def test_losses_nonnegative_and_symmetric(self, a, b):
+        for loss in (nn.MeanAbsoluteError(), nn.MeanSquaredError()):
+            v = loss.value(a, b)
+            assert v >= 0
+            assert v == loss.value(b, a)
+
+    @given(arrays((4, 3)), arrays((4, 3)))
+    def test_mae_triangle_like_bound(self, a, b):
+        # MAE(a, b) <= MAE(a, 0) + MAE(0, b)
+        zero = np.zeros_like(a)
+        mae = nn.MeanAbsoluteError()
+        assert mae.value(a, b) <= mae.value(a, zero) + mae.value(zero, b) + 1e-12
+
+
+class TestMetricProperties:
+    @given(arrays((5, 4)), arrays((5, 4)))
+    def test_rmse_squares_to_mse(self, a, b):
+        np.testing.assert_allclose(
+            nn.root_mean_squared_error(a, b) ** 2,
+            nn.mean_squared_error(a, b),
+            atol=1e-9,
+        )
+
+    @given(arrays((5, 4)), arrays((5, 4)))
+    def test_per_output_mae_averages_to_mae(self, a, b):
+        np.testing.assert_allclose(
+            nn.per_output_mae(a, b).mean(), nn.mean_absolute_error(a, b), atol=1e-12
+        )
+
+    @given(arrays((6, 2)))
+    def test_r2_of_perfect_prediction_is_one(self, x):
+        assert nn.r2_score(x, x.copy()) == 1.0 or np.allclose(x, x.mean(axis=0))

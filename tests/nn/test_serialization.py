@@ -1,0 +1,82 @@
+"""Unit tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import model_from_dict, model_to_dict
+
+
+def _model():
+    model = nn.Sequential(
+        [
+            nn.Reshape((-1, 1)),
+            nn.Conv1D(3, 5, strides=2, activation="selu"),
+            nn.MaxPool1D(2),
+            nn.Flatten(),
+            nn.Dense(4, activation="softmax"),
+        ],
+        name="roundtrip",
+    )
+    model.build((30,), seed=3)
+    return model
+
+
+class TestDictRoundtrip:
+    def test_architecture_preserved(self):
+        original = _model()
+        rebuilt = model_from_dict(model_to_dict(original))
+        assert rebuilt.count_params() == original.count_params()
+        assert [l.name for l in rebuilt.layers] == [l.name for l in original.layers]
+        assert rebuilt.input_shape == original.input_shape
+
+    def test_unbuilt_model_rejected(self):
+        with pytest.raises(ValueError, match="built"):
+            model_to_dict(nn.Sequential([nn.Dense(2)]))
+
+    def test_unknown_layer_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            model_from_dict(
+                {"input_shape": [4], "layers": [{"class": "Quantum", "config": {}}]}
+            )
+
+    def test_missing_input_shape_rejected(self):
+        with pytest.raises(ValueError, match="input_shape"):
+            model_from_dict({"layers": []})
+
+
+class TestFileRoundtrip:
+    def test_predictions_identical_after_reload(self, tmp_path):
+        original = _model()
+        x = np.random.default_rng(0).random((6, 30))
+        expected = original.predict(x)
+        path = nn.save_model(original, tmp_path / "model")
+        assert path.endswith(".npz")
+        reloaded = nn.load_model(path)
+        np.testing.assert_allclose(reloaded.predict(x), expected, atol=1e-15)
+
+    def test_lstm_roundtrip(self, tmp_path):
+        model = nn.Sequential([nn.LSTM(6), nn.Dense(2)])
+        model.build((4, 5), seed=0)
+        x = np.random.default_rng(1).normal(size=(3, 4, 5))
+        path = nn.save_model(model, tmp_path / "lstm.npz")
+        np.testing.assert_allclose(nn.load_model(path).predict(x), model.predict(x))
+
+    def test_locally_connected_roundtrip(self, tmp_path):
+        model = nn.Sequential(
+            [nn.Reshape((-1, 1)), nn.LocallyConnected1D(2, 3, 3), nn.Flatten(), nn.Dense(2)]
+        )
+        model.build((12,), seed=0)
+        x = np.random.default_rng(2).random((4, 12))
+        path = nn.save_model(model, tmp_path / "lc.npz")
+        np.testing.assert_allclose(nn.load_model(path).predict(x), model.predict(x))
+
+    def test_reloaded_model_is_trainable(self, tmp_path):
+        model = _model()
+        path = nn.save_model(model, tmp_path / "m.npz")
+        reloaded = nn.load_model(path).compile("adam", "mae")
+        rng = np.random.default_rng(3)
+        x = rng.random((16, 30))
+        y = rng.dirichlet(np.ones(4), size=16)
+        loss = reloaded.train_on_batch(x, y)
+        assert np.isfinite(loss)
