@@ -1,0 +1,130 @@
+"""RELIABILITY — steady-state overhead of the fault-tolerance wrappers.
+
+The reliability subsystem only pays for itself if its cost in the healthy
+path is negligible next to the work it protects: the paper's real-time
+argument (millisecond ANN analysis) must survive the wrappers.  Measured
+here, per healthy (fault-free) operation:
+
+(a) acquisition through a :class:`FaultInjector` vs the raw spectrometer,
+(b) analysis through a :class:`GuardedAnalyzer` vs the raw ANN analyzer,
+(c) a training epoch with a per-epoch :class:`Checkpoint` callback vs
+    without.
+
+Asserted shape: each wrapper costs less than the wrapped operation itself
+(overhead factor < 2-3x even on these deliberately tiny workloads; on
+paper-scale models the relative overhead shrinks further).
+"""
+
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.closed_loop import ann_analyzer
+from repro.core.topologies import nmr_conv_topology
+from repro.nmr import VirtualNMRSpectrometer, mndpa_reaction_models
+from repro.reliability import (
+    Checkpoint,
+    CheckpointManager,
+    FaultConfig,
+    FaultInjector,
+    GuardedAnalyzer,
+)
+
+from conftest import print_table, scale, write_results
+
+OUTLET = {"Toluidine": 0.08, "LiHMDS": 0.05, "MNDPA": 0.15, "OFNB": 0.03}
+
+
+def _time_callable(fn, repeats):
+    fn()  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    models = mndpa_reaction_models()
+    spectrometer = VirtualNMRSpectrometer.benchtop(models, seed=0)
+    injector = FaultInjector(spectrometer, FaultConfig(), seed=0)  # no faults
+    repeats = scale(30, 200)
+
+    raw_acquire_s = _time_callable(lambda: spectrometer.acquire(OUTLET), repeats)
+    injected_acquire_s = _time_callable(lambda: injector.acquire(OUTLET), repeats)
+
+    network = nmr_conv_topology().build((1700,), seed=0)  # timing only
+    analyzer = ann_analyzer(network)
+    guard = GuardedAnalyzer(analyzer, np.zeros(4))
+    spectrum = spectrometer.acquire(OUTLET).intensities
+
+    raw_analyze_s = _time_callable(lambda: analyzer(spectrum), repeats)
+    guarded_analyze_s = _time_callable(lambda: guard(spectrum), repeats)
+
+    rng = np.random.default_rng(0)
+    x, y = rng.random((1024, 128)), rng.random((1024, 4))
+
+    def fit_once(callbacks):
+        model = nn.Sequential([nn.Dense(64, activation="relu"), nn.Dense(4)])
+        model.build((128,), seed=0)
+        model.compile(nn.Adam(0.01), "mse")
+        model.fit(x, y, epochs=scale(5, 20), batch_size=32, seed=0,
+                  callbacks=callbacks)
+
+    with tempfile.TemporaryDirectory() as directory:
+        manager = CheckpointManager(directory)
+        plain_fit_s = _time_callable(lambda: fit_once([]), repeats=3)
+        checkpointed_fit_s = _time_callable(
+            lambda: fit_once([Checkpoint(manager, "bench")]), repeats=3
+        )
+
+    return {
+        "raw_acquire_s": raw_acquire_s,
+        "injected_acquire_s": injected_acquire_s,
+        "raw_analyze_s": raw_analyze_s,
+        "guarded_analyze_s": guarded_analyze_s,
+        "plain_fit_s": plain_fit_s,
+        "checkpointed_fit_s": checkpointed_fit_s,
+    }
+
+
+def test_reliability_overhead(benchmark, overhead):
+    """Benchmarked op: one guarded ANN analysis (the hot control-loop path)."""
+    models = mndpa_reaction_models()
+    spectrum = VirtualNMRSpectrometer.benchtop(models, seed=0).acquire(
+        OUTLET
+    ).intensities
+    network = nmr_conv_topology().build((1700,), seed=0)
+    guard = GuardedAnalyzer(ann_analyzer(network), np.zeros(4))
+    benchmark(lambda: guard(spectrum))
+
+    rows = [
+        {"path": "acquire raw", "ms": 1000 * overhead["raw_acquire_s"],
+         "overhead_x": 1.0},
+        {"path": "acquire +injector",
+         "ms": 1000 * overhead["injected_acquire_s"],
+         "overhead_x": overhead["injected_acquire_s"]
+         / overhead["raw_acquire_s"]},
+        {"path": "analyze raw", "ms": 1000 * overhead["raw_analyze_s"],
+         "overhead_x": 1.0},
+        {"path": "analyze +guard", "ms": 1000 * overhead["guarded_analyze_s"],
+         "overhead_x": overhead["guarded_analyze_s"]
+         / overhead["raw_analyze_s"]},
+        {"path": "fit plain", "ms": 1000 * overhead["plain_fit_s"],
+         "overhead_x": 1.0},
+        {"path": "fit +checkpoint", "ms": 1000 * overhead["checkpointed_fit_s"],
+         "overhead_x": overhead["checkpointed_fit_s"]
+         / overhead["plain_fit_s"]},
+    ]
+    print_table(
+        "Reliability wrapper overhead in the healthy path",
+        rows, ["path", "ms", "overhead_x"],
+    )
+    write_results("reliability_overhead", {"rows": rows})
+
+    assert overhead["injected_acquire_s"] < 2.0 * overhead["raw_acquire_s"]
+    assert overhead["guarded_analyze_s"] < 3.0 * overhead["raw_analyze_s"]
+    assert overhead["checkpointed_fit_s"] < 3.0 * overhead["plain_fit_s"]

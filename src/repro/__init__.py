@@ -12,7 +12,9 @@ Subpackages:
   topologies, training service, augmentation, evaluation;
 * :mod:`repro.db` — embedded document store + provenance (MongoDB
   substitute);
-* :mod:`repro.embedded` — Jetson platform cost model (Table 2).
+* :mod:`repro.embedded` — Jetson platform cost model (Table 2);
+* :mod:`repro.reliability` — fault injection, retrying acquisition,
+  checkpoint/resume training and graceful closed-loop degradation.
 """
 
 __version__ = "1.0.0"

@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.nmr.acquisition import VirtualNMRSpectrometer
 from repro.nmr.reaction import OBSERVED_COMPONENTS, ReactionConditions, ReactionKinetics
+from repro.reliability.faults import AcquisitionError
+from repro.reliability.retry import RetryPolicy
 
 __all__ = ["PIController", "ControlStep", "ClosedLoopSimulation"]
 
@@ -60,13 +62,18 @@ class PIController:
 
 @dataclass(frozen=True)
 class ControlStep:
-    """One sample of the closed-loop trajectory."""
+    """One sample of the closed-loop trajectory.
+
+    ``degraded`` marks steps where acquisition failed even after retries
+    and the controller held its last actuator value instead of updating.
+    """
 
     step: int
     residence_time_s: float
     true_product: float
     estimated_product: float
     analyzer_seconds: float
+    degraded: bool = False
 
 
 class ClosedLoopSimulation:
@@ -89,6 +96,7 @@ class ClosedLoopSimulation:
         base_conditions: ReactionConditions = ReactionConditions(),
         controller: Optional[PIController] = None,
         disturbance: Optional[Callable[[int, ReactionConditions], ReactionConditions]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if target_product <= 0:
             raise ValueError("target_product must be positive")
@@ -102,13 +110,22 @@ class ClosedLoopSimulation:
             output_min=10.0, output_max=600.0,
         )
         self.disturbance = disturbance
+        self.retry_policy = retry_policy
+        self.dropped_steps = 0
 
     def run(self, n_steps: int, rng: np.random.Generator) -> List[ControlStep]:
-        """Simulate ``n_steps`` control periods; returns the trajectory."""
+        """Simulate ``n_steps`` control periods; returns the trajectory.
+
+        With a ``retry_policy``, a dropped scan is re-acquired within the
+        control period; if every attempt fails the controller performs a
+        safe actuator hold (no update) for that step and the step is marked
+        ``degraded``.  Without a policy, acquisition errors propagate.
+        """
         if n_steps <= 0:
             raise ValueError("n_steps must be positive")
         product_index = OBSERVED_COMPONENTS.index("MNDPA")
         residence = self.base_conditions.residence_time_s
+        last_estimate = self.target_product
         trajectory: List[ControlStep] = []
         for step in range(n_steps):
             conditions = replace(
@@ -117,9 +134,24 @@ class ClosedLoopSimulation:
             if self.disturbance is not None:
                 conditions = self.disturbance(step, conditions)
             outlet = self.kinetics.outlet_concentrations(conditions)
-            spectrum = self.spectrometer.acquire(outlet, rng=rng)
+            spectrum = self._acquire(outlet, rng)
+            if spectrum is None:
+                # Acquisition lost even after retries: hold the actuator.
+                self.dropped_steps += 1
+                trajectory.append(
+                    ControlStep(
+                        step=step,
+                        residence_time_s=conditions.residence_time_s,
+                        true_product=outlet["MNDPA"],
+                        estimated_product=float(last_estimate),
+                        analyzer_seconds=0.0,
+                        degraded=True,
+                    )
+                )
+                continue
             estimate, seconds = self.analyzer(spectrum.intensities)
             estimated_product = float(estimate[product_index])
+            last_estimate = estimated_product
             residence = self.controller.update(estimated_product)
             trajectory.append(
                 ControlStep(
@@ -131,6 +163,17 @@ class ClosedLoopSimulation:
                 )
             )
         return trajectory
+
+    def _acquire(self, outlet, rng):
+        """One spectrum, or None if acquisition failed after all retries."""
+        if self.retry_policy is None:
+            return self.spectrometer.acquire(outlet, rng=rng)
+        try:
+            return self.retry_policy.call(
+                self.spectrometer.acquire, outlet, rng=rng
+            )
+        except AcquisitionError:
+            return None
 
     @staticmethod
     def settling_step(

@@ -75,6 +75,7 @@ class DriftMonitor:
         self.warmup = int(warmup)
         self._ewma: Optional[float] = None
         self._count = 0
+        self.skipped_nonfinite = 0
         rng = rng if rng is not None else np.random.default_rng(0)
         self.baseline_residual = self._establish_baseline(
             simulator, task_compounds, baseline_samples, rng
@@ -91,9 +92,26 @@ class DriftMonitor:
         return float(np.median(residuals))
 
     def observe(self, spectrum: Union[MassSpectrum, np.ndarray]) -> DriftStatus:
-        """Feed one production spectrum; returns the updated drift status."""
+        """Feed one production spectrum; returns the updated drift status.
+
+        Non-finite spectra (NaN/inf channels from a faulty detector) are
+        skipped rather than folded into the EWMA — one bad scan must not
+        poison the drift statistic forever.  Skips are counted in
+        :attr:`skipped_nonfinite` and leave the status unchanged.
+        """
+        data = (
+            spectrum.intensities
+            if isinstance(spectrum, MassSpectrum)
+            else np.asarray(spectrum, dtype=np.float64)
+        )
+        if not np.isfinite(data).all():
+            self.skipped_nonfinite += 1
+            return self._status()
         report = self.checker.check(spectrum)
         value = report.residual_fraction
+        if not np.isfinite(value):
+            self.skipped_nonfinite += 1
+            return self._status()
         if self._ewma is None:
             self._ewma = value
         else:
@@ -101,13 +119,18 @@ class DriftMonitor:
                 self.smoothing * value + (1.0 - self.smoothing) * self._ewma
             )
         self._count += 1
+        return self._status()
+
+    def _status(self) -> DriftStatus:
+        """The monitor's current state as a DriftStatus."""
+        ewma = self._ewma if self._ewma is not None else self.baseline_residual
         drifted = (
             self._count >= self.warmup
-            and self._ewma > self.alarm_factor * max(self.baseline_residual, 1e-6)
+            and ewma > self.alarm_factor * max(self.baseline_residual, 1e-6)
         )
         return DriftStatus(
             drifted=drifted,
-            ewma_residual=float(self._ewma),
+            ewma_residual=float(ewma),
             baseline_residual=self.baseline_residual,
             observations=self._count,
         )
@@ -116,6 +139,7 @@ class DriftMonitor:
         """Clear the observation state (e.g. after recalibration)."""
         self._ewma = None
         self._count = 0
+        self.skipped_nonfinite = 0
 
 
 def recalibrate(

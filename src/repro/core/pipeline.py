@@ -30,6 +30,7 @@ from repro.ms.simulator import MassSpectrometerSimulator
 from repro.ms.spectrum import MassSpectrum, MzAxis
 from repro.nn.model import Sequential
 from repro.nn.training import EarlyStopping, History
+from repro.reliability.retry import RetryPolicy, finite_intensities
 
 __all__ = ["MSToolchain", "ToolchainResult"]
 
@@ -80,15 +81,32 @@ class MSToolchain:
         samples_per_mixture: int,
         plan: Optional[MixturePlan] = None,
         n_mixtures: int = 14,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> Tuple[List[Measurement], int]:
         """Measure a calibration plan on the (real) device.
+
+        With a ``retry_policy``, each sample is acquired individually and a
+        dropped scan (:class:`~repro.reliability.faults.AcquisitionError`)
+        or a scan with non-finite intensities — e.g. dead detector channels
+        injected by a :class:`~repro.reliability.faults.FaultInjector` — is
+        re-acquired instead of poisoning the characterization fit.
 
         Returns the measurements and their provenance artifact id.
         """
         plan = plan if plan is not None else default_mixture_plan(
             self.task_compounds, n_mixtures
         )
-        measurements = rig.measure_plan(plan, samples_per_mixture)
+        if retry_policy is None:
+            measurements = rig.measure_plan(plan, samples_per_mixture)
+        else:
+            measurements = []
+            for mixture in plan.mixtures:
+                for _ in range(samples_per_mixture):
+                    measurements.append(
+                        retry_policy.call(
+                            self._checked_measurement, rig, mixture
+                        )
+                    )
         artifact = self.provenance.record(
             "measurement_series",
             {
@@ -98,6 +116,18 @@ class MSToolchain:
             },
         )
         return measurements, artifact
+
+    @staticmethod
+    def _checked_measurement(
+        rig: MassFlowControllerRig, mixture: Mapping[str, float]
+    ) -> Measurement:
+        """One sample; non-finite scans are failed acquisitions (retried)."""
+        from repro.reliability.faults import AcquisitionError
+
+        measurement = rig.measure_mixture(mixture)
+        if not finite_intensities(measurement):
+            raise AcquisitionError("scan contains non-finite intensities")
+        return measurement
 
     def build_simulator(
         self, measurements: Sequence[Measurement], measurements_artifact: int
@@ -210,11 +240,12 @@ class MSToolchain:
         topology: Optional[TopologySpec] = None,
         epochs: int = 30,
         seed: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> ToolchainResult:
         """The full Fig.-3 flow against a device and an evaluation set."""
         rng = np.random.default_rng(seed)
         measurements, m_id = self.collect_reference_measurements(
-            rig, samples_per_mixture
+            rig, samples_per_mixture, retry_policy=retry_policy
         )
         simulator, characterization, s_id = self.build_simulator(measurements, m_id)
         dataset, d_id = self.generate_training_data(

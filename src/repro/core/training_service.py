@@ -7,6 +7,15 @@ without user interaction.  Backend tools help with the evaluation of the
 trained networks ..., the selection of the best-performing networks, based
 on selectable quality criteria and the export of analysis data to
 spreadsheet applications."
+
+Because the process runs without user interaction, it must also survive
+without one: given a :class:`~repro.reliability.checkpoint.CheckpointManager`
+the service checkpoints every topology as it trains, and
+``train_all(resume=True)`` restarts a killed sweep from the last completed
+topology/epoch — completed topologies are reloaded (same final metrics as
+an uninterrupted run), a half-trained topology resumes from its last
+checkpointed epoch with restored optimizer state.  Every checkpoint and
+resume event is recorded in the :class:`ProvenanceTracker`.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from repro.db.provenance import ProvenanceTracker
 from repro.nn.metrics import mean_absolute_error, mean_squared_error, r2_score
 from repro.nn.model import Sequential
 from repro.nn.training import EarlyStopping
+from repro.reliability.checkpoint import Checkpoint, CheckpointManager
 
 __all__ = ["TrainingConfig", "TrainingRun", "TrainingService"]
 
@@ -56,18 +66,26 @@ class TrainingRun:
     metrics: Dict[str, float]
     epochs_run: int
     artifact_id: Optional[int] = None
+    resumed: bool = False
 
 
 class TrainingService:
-    """Trains a list of topologies on one dataset, records, ranks, exports."""
+    """Trains a list of topologies on one dataset, records, ranks, exports.
+
+    With ``checkpoints`` set, every topology is snapshotted while it trains
+    and finalized when it completes, so a killed sweep can be picked up
+    with ``train_all(..., resume=True)``.
+    """
 
     def __init__(
         self,
         config: TrainingConfig = TrainingConfig(),
         provenance: Optional[ProvenanceTracker] = None,
+        checkpoints: Optional[CheckpointManager] = None,
     ):
         self.config = config
         self.provenance = provenance
+        self.checkpoints = checkpoints
         self.runs: List[TrainingRun] = []
 
     def train_all(
@@ -77,14 +95,26 @@ class TrainingService:
         evaluation_data: Optional[SpectraDataset] = None,
         dataset_artifact: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+        sweep_name: str = "sweep",
     ) -> List[TrainingRun]:
         """Train every topology without user interaction.
 
         ``evaluation_data``, if given, is scored as ``measured_*`` metrics
         (the paper's evaluation on real measurement series).
+
+        ``resume=True`` (requires a :class:`CheckpointManager`) reloads
+        topologies that already completed in a previous invocation —
+        reproducing their recorded metrics exactly — and resumes a
+        half-trained topology from its last checkpointed epoch.  Note that
+        mid-topology resume restarts the early-stopping patience window at
+        the resume point; kill/resume between topologies is bit-exact.
         """
         if not topologies:
             raise ValueError("topologies must be non-empty")
+        if resume and self.checkpoints is None:
+            raise ValueError("resume=True requires a CheckpointManager")
         names = [t.name for t in topologies]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate topology names: {names}")
@@ -92,59 +122,214 @@ class TrainingService:
         train, validation = dataset.split(
             config.train_fraction, np.random.default_rng(config.seed)
         )
+        sweep_state: Dict[str, object] = {"completed": {}}
+        if self.checkpoints is not None and resume:
+            stored = self.checkpoints.load_state(sweep_name)
+            if stored is not None:
+                sweep_state = stored
+        completed: Dict[str, dict] = dict(sweep_state.get("completed", {}))
+
         for topology in topologies:
-            if progress is not None:
-                progress(f"training {topology.name}")
-            model = topology.build(dataset.input_shape, seed=config.seed)
-            model.compile(config.optimizer, config.loss)
-            callbacks = []
-            if config.patience is not None:
-                callbacks.append(
-                    EarlyStopping(
-                        patience=config.patience, restore_best_weights=True
-                    )
+            checkpoint_name = f"{sweep_name}-{topology.name}"
+            if resume and topology.name in completed:
+                run = self._reload_completed(
+                    topology, checkpoint_name, completed[topology.name],
+                    dataset_artifact, progress,
                 )
-            history = model.fit(
-                train.x,
-                train.y,
-                epochs=config.epochs,
-                batch_size=config.batch_size,
-                validation_data=(validation.x, validation.y),
-                callbacks=callbacks,
-                seed=config.seed,
+                self.runs.append(run)
+                continue
+            run = self._train_one(
+                topology,
+                checkpoint_name,
+                train,
+                validation,
+                evaluation_data,
+                dataset_artifact,
+                progress,
+                resume=resume,
+                checkpoint_every=checkpoint_every,
             )
-            predictions = model.predict(validation.x)
-            metrics = {
-                "val_mae": mean_absolute_error(predictions, validation.y),
-                "val_mse": mean_squared_error(predictions, validation.y),
-                "val_r2": r2_score(predictions, validation.y),
-            }
-            if evaluation_data is not None:
-                measured = model.predict(evaluation_data.x)
-                metrics["measured_mae"] = mean_absolute_error(
-                    measured, evaluation_data.y
-                )
-                metrics["measured_mse"] = mean_squared_error(
-                    measured, evaluation_data.y
-                )
-            artifact_id = None
-            if self.provenance is not None:
-                parents = [dataset_artifact] if dataset_artifact is not None else []
-                artifact_id = self.provenance.record(
-                    "network",
-                    {"topology": topology.name, **metrics},
-                    parents=parents,
-                )
-            self.runs.append(
-                TrainingRun(
-                    topology_name=topology.name,
-                    model=model,
-                    metrics=metrics,
-                    epochs_run=len(history.epochs),
-                    artifact_id=artifact_id,
-                )
-            )
+            self.runs.append(run)
+            if self.checkpoints is not None:
+                completed[topology.name] = {
+                    "metrics": run.metrics,
+                    "epochs_run": run.epochs_run,
+                }
+                sweep_state["completed"] = completed
+                self.checkpoints.save_state(sweep_name, sweep_state)
         return self.runs
+
+    # -- one topology ------------------------------------------------------
+
+    def _train_one(
+        self,
+        topology: TopologySpec,
+        checkpoint_name: str,
+        train: SpectraDataset,
+        validation: SpectraDataset,
+        evaluation_data: Optional[SpectraDataset],
+        dataset_artifact: Optional[int],
+        progress: Optional[Callable[[str], None]],
+        resume: bool,
+        checkpoint_every: int,
+    ) -> TrainingRun:
+        config = self.config
+        initial_epoch = 0
+        model: Optional[Sequential] = None
+        if resume and self.checkpoints is not None and self.checkpoints.exists(
+            checkpoint_name
+        ):
+            data = self.checkpoints.load(checkpoint_name, seed=config.seed)
+            saved_epoch = int(data.state.get("epoch", 0))
+            if data.state.get("completed"):
+                # Crash landed between the final snapshot and the sweep
+                # state update; the checkpoint already holds the scored model.
+                return self._reload_completed(
+                    topology,
+                    checkpoint_name,
+                    {"metrics": data.state["metrics"], "epochs_run": saved_epoch},
+                    dataset_artifact,
+                    progress,
+                )
+            if 0 < saved_epoch < config.epochs:
+                model = data.model
+                model.compile(data.optimizer or config.optimizer, config.loss)
+                initial_epoch = saved_epoch
+                self._record_event(
+                    "resume",
+                    {"topology": topology.name, "epoch": saved_epoch},
+                    dataset_artifact,
+                )
+        if progress is not None:
+            verb = f"resuming from epoch {initial_epoch}" if initial_epoch else "training"
+            progress(f"{verb} {topology.name}")
+        if model is None:
+            model = topology.build(train.input_shape, seed=config.seed)
+            model.compile(config.optimizer, config.loss)
+        callbacks = []
+        if config.patience is not None:
+            callbacks.append(
+                EarlyStopping(patience=config.patience, restore_best_weights=True)
+            )
+        if self.checkpoints is not None:
+            callbacks.append(
+                Checkpoint(
+                    self.checkpoints,
+                    checkpoint_name,
+                    every=checkpoint_every,
+                    on_save=lambda path, epoch: self._record_event(
+                        "checkpoint",
+                        {"topology": topology.name, "epoch": epoch},
+                        dataset_artifact,
+                    ),
+                )
+            )
+        history = model.fit(
+            train.x,
+            train.y,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            validation_data=(validation.x, validation.y),
+            callbacks=callbacks,
+            seed=config.seed,
+            initial_epoch=initial_epoch,
+        )
+        epochs_run = initial_epoch + len(history.epochs)
+        metrics = self._score(model, validation, evaluation_data)
+        if self.checkpoints is not None:
+            # Final snapshot carries the (possibly best-weights-restored)
+            # model so a later resume reloads exactly what was scored.
+            self.checkpoints.save(
+                checkpoint_name,
+                model,
+                state={
+                    "epoch": epochs_run,
+                    "completed": True,
+                    "metrics": metrics,
+                },
+            )
+        artifact_id = self._record_network(topology.name, metrics, dataset_artifact)
+        return TrainingRun(
+            topology_name=topology.name,
+            model=model,
+            metrics=metrics,
+            epochs_run=epochs_run,
+            artifact_id=artifact_id,
+            resumed=initial_epoch > 0,
+        )
+
+    def _reload_completed(
+        self,
+        topology: TopologySpec,
+        checkpoint_name: str,
+        record: dict,
+        dataset_artifact: Optional[int],
+        progress: Optional[Callable[[str], None]],
+    ) -> TrainingRun:
+        """Skip a topology the previous invocation finished."""
+        if progress is not None:
+            progress(f"skipping completed {topology.name}")
+        data = self.checkpoints.load(checkpoint_name, seed=self.config.seed)
+        metrics = {k: float(v) for k, v in record["metrics"].items()}
+        self._record_event(
+            "resume",
+            {"topology": topology.name, "skipped_completed": True},
+            dataset_artifact,
+        )
+        artifact_id = self._record_network(topology.name, metrics, dataset_artifact)
+        return TrainingRun(
+            topology_name=topology.name,
+            model=data.model,
+            metrics=metrics,
+            epochs_run=int(record.get("epochs_run", 0)),
+            artifact_id=artifact_id,
+            resumed=True,
+        )
+
+    def _score(
+        self,
+        model: Sequential,
+        validation: SpectraDataset,
+        evaluation_data: Optional[SpectraDataset],
+    ) -> Dict[str, float]:
+        predictions = model.predict(validation.x)
+        metrics = {
+            "val_mae": mean_absolute_error(predictions, validation.y),
+            "val_mse": mean_squared_error(predictions, validation.y),
+            "val_r2": r2_score(predictions, validation.y),
+        }
+        if evaluation_data is not None:
+            measured = model.predict(evaluation_data.x)
+            metrics["measured_mae"] = mean_absolute_error(
+                measured, evaluation_data.y
+            )
+            metrics["measured_mse"] = mean_squared_error(
+                measured, evaluation_data.y
+            )
+        return metrics
+
+    # -- provenance --------------------------------------------------------
+
+    def _record_network(
+        self, topology_name: str, metrics: Dict[str, float],
+        dataset_artifact: Optional[int],
+    ) -> Optional[int]:
+        if self.provenance is None:
+            return None
+        parents = [dataset_artifact] if dataset_artifact is not None else []
+        return self.provenance.record(
+            "network", {"topology": topology_name, **metrics}, parents=parents
+        )
+
+    def _record_event(
+        self, kind: str, metadata: dict, dataset_artifact: Optional[int]
+    ) -> None:
+        if self.provenance is None:
+            return
+        parents = [dataset_artifact] if dataset_artifact is not None else []
+        self.provenance.record(kind, metadata, parents=parents)
+
+    # -- selection & export ------------------------------------------------
 
     def select_best(self, criterion: str = "val_mae", mode: str = "min") -> TrainingRun:
         """Best run by a selectable quality criterion."""

@@ -8,6 +8,7 @@ means ``$eq``.  The store is in-memory with optional JSON-file persistence.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
@@ -77,10 +78,15 @@ class Collection:
     # -- writes ---------------------------------------------------------------
 
     def insert(self, document: Mapping) -> int:
-        """Insert a copy of ``document``; returns the assigned ``_id``."""
+        """Insert a deep copy of ``document``; returns the assigned ``_id``.
+
+        Deep-copying isolates the store from later mutations of nested
+        values in the caller's dict (and vice versa) — a shallow copy would
+        let nested mutations silently corrupt stored provenance.
+        """
         if not isinstance(document, Mapping):
             raise TypeError(f"documents must be mappings, got {type(document).__name__}")
-        doc = dict(document)
+        doc = copy.deepcopy(dict(document))
         if "_id" in doc:
             raise ValueError("documents must not carry a pre-set _id")
         doc_id = self._next_id
@@ -101,7 +107,7 @@ class Collection:
         for key, value in changes.items():
             if key == "_id":
                 raise ValueError("_id cannot be updated")
-            stored[key] = value
+            stored[key] = copy.deepcopy(value)
         return True
 
     def delete(self, query: Mapping) -> int:
@@ -114,18 +120,21 @@ class Collection:
     # -- reads -----------------------------------------------------------------
 
     def get(self, doc_id: int) -> Optional[Dict]:
+        """A deep copy of the stored document (reads never alias the store)."""
         doc = self._documents.get(doc_id)
-        return dict(doc) if doc is not None else None
+        return copy.deepcopy(doc) if doc is not None else None
 
     def find(self, query: Optional[Mapping] = None) -> List[Dict]:
         query = query or {}
-        return [dict(d) for d in self._documents.values() if _matches(d, query)]
+        return [
+            copy.deepcopy(d) for d in self._documents.values() if _matches(d, query)
+        ]
 
     def find_one(self, query: Optional[Mapping] = None) -> Optional[Dict]:
         query = query or {}
         for doc in self._documents.values():
             if _matches(doc, query):
-                return dict(doc)
+                return copy.deepcopy(doc)
         return None
 
     def count(self, query: Optional[Mapping] = None) -> int:
@@ -153,7 +162,7 @@ class Collection:
         return {
             "name": self.name,
             "next_id": self._next_id,
-            "documents": list(self._documents.values()),
+            "documents": copy.deepcopy(list(self._documents.values())),
         }
 
     @classmethod
@@ -161,7 +170,7 @@ class Collection:
         collection = cls(data["name"])
         collection._next_id = data["next_id"]
         for doc in data["documents"]:
-            collection._documents[doc["_id"]] = dict(doc)
+            collection._documents[doc["_id"]] = copy.deepcopy(dict(doc))
         return collection
 
 

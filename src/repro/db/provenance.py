@@ -62,6 +62,17 @@ class ProvenanceTracker:
             query[f"metadata.{key}"] = value
         return self._artifacts.find(query)
 
+    def counts_by_kind(self) -> Dict[str, int]:
+        """How many artifacts of each kind are recorded.
+
+        Useful for auditing reliability events ("checkpoint", "resume")
+        alongside data artifacts after an unattended run.
+        """
+        counts: Dict[str, int] = {}
+        for doc in self._artifacts.find():
+            counts[doc["kind"]] = counts.get(doc["kind"], 0) + 1
+        return counts
+
     # -- graph walks -------------------------------------------------------
 
     def ancestors(self, artifact_id: int) -> List[int]:

@@ -113,8 +113,13 @@ class Sequential:
         callbacks: Optional[Sequence[Callback]] = None,
         seed: Optional[int] = None,
         verbose: bool = False,
+        initial_epoch: int = 0,
     ) -> History:
-        """Standard epoch/mini-batch training loop; returns a History."""
+        """Standard epoch/mini-batch training loop; returns a History.
+
+        ``initial_epoch`` (with restored weights and optimizer state)
+        resumes a checkpointed run at epoch ``initial_epoch + 1``.
+        """
         self._require_compiled()
         return run_training_loop(
             self,
@@ -127,6 +132,7 @@ class Sequential:
             callbacks=list(callbacks or []),
             seed=seed,
             verbose=verbose,
+            initial_epoch=initial_epoch,
         )
 
     def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:

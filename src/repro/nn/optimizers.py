@@ -50,6 +50,33 @@ class Optimizer:
         """Discard accumulated state (momentum, moments, step count)."""
         self.iterations = 0
 
+    def _slots(self) -> Dict[str, Dict[ParamKey, np.ndarray]]:
+        """Per-parameter state dicts by slot name (subclasses override)."""
+        return {}
+
+    def get_state(self) -> dict:
+        """Snapshot of step count + per-parameter slots, for checkpointing."""
+        return {
+            "iterations": self.iterations,
+            "slots": {
+                name: {key: value.copy() for key, value in slot.items()}
+                for name, slot in self._slots().items()
+            },
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot (exact resume of training)."""
+        slots = self._slots()
+        given = dict(state.get("slots", {}))
+        unknown = set(given) - set(slots)
+        if unknown:
+            raise ValueError(f"unknown optimizer state slots: {sorted(unknown)}")
+        self.iterations = int(state["iterations"])
+        for name, slot in slots.items():
+            slot.clear()
+            for key, value in given.get(name, {}).items():
+                slot[key] = np.array(value, dtype=np.float64, copy=True)
+
     def get_config(self) -> dict:
         return {
             "name": self.name,
@@ -70,6 +97,9 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.nesterov = bool(nesterov)
         self._velocity: Dict[ParamKey, np.ndarray] = {}
+
+    def _slots(self):
+        return {"velocity": self._velocity}
 
     def _update(self, key, param, grad):
         if self.momentum == 0.0:
@@ -118,6 +148,9 @@ class Adam(Optimizer):
         self._m: Dict[ParamKey, np.ndarray] = {}
         self._v: Dict[ParamKey, np.ndarray] = {}
 
+    def _slots(self):
+        return {"m": self._m, "v": self._v}
+
     def _update(self, key, param, grad):
         m = self._m.get(key)
         if m is None:
@@ -156,6 +189,9 @@ class RMSprop(Optimizer):
         self.rho = float(rho)
         self.epsilon = float(epsilon)
         self._sq: Dict[ParamKey, np.ndarray] = {}
+
+    def _slots(self):
+        return {"sq": self._sq}
 
     def _update(self, key, param, grad):
         sq = self._sq.get(key)

@@ -11,14 +11,21 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Union
+import tempfile
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.nn.layers import LAYER_REGISTRY
 from repro.nn.model import Sequential
 
-__all__ = ["save_model", "load_model", "model_to_dict", "model_from_dict"]
+__all__ = [
+    "atomic_savez",
+    "save_model",
+    "load_model",
+    "model_to_dict",
+    "model_from_dict",
+]
 
 
 def model_to_dict(model: Sequential) -> dict:
@@ -43,8 +50,42 @@ def model_from_dict(config: dict, seed: int = 0) -> Sequential:
     return model
 
 
+def _apply_umask_mode(tmp: str) -> None:
+    """Give a mkstemp file (0600) the permissions a plain open() would."""
+    umask = os.umask(0)
+    os.umask(umask)
+    os.chmod(tmp, 0o666 & ~umask)
+
+
+def atomic_savez(path: Union[str, os.PathLike], arrays: Dict[str, np.ndarray]) -> str:
+    """Write an ``.npz`` archive crash-safely.
+
+    The archive is written to a temporary file in the target directory and
+    moved into place with :func:`os.replace`, so a crash mid-save never
+    leaves a truncated or corrupt file at ``path`` — readers observe either
+    the previous complete archive or the new one.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".npz")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        _apply_umask_mode(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+    return path
+
+
 def save_model(model: Sequential, path: Union[str, os.PathLike]) -> str:
-    """Save architecture + weights to ``path`` (a ``.npz`` file)."""
+    """Save architecture + weights to ``path`` (a ``.npz`` file).
+
+    The write is atomic (see :func:`atomic_savez`): an interrupted save
+    cannot corrupt an existing checkpoint at the same path.
+    """
     path = os.fspath(path)
     if not path.endswith(".npz"):
         path += ".npz"
@@ -53,8 +94,7 @@ def save_model(model: Sequential, path: Union[str, os.PathLike]) -> str:
     )}
     for i, weight in enumerate(model.get_weights()):
         arrays[f"w{i:04d}"] = weight
-    np.savez(path, **arrays)
-    return path
+    return atomic_savez(path, arrays)
 
 
 def load_model(path: Union[str, os.PathLike]) -> Sequential:

@@ -148,12 +148,23 @@ def run_training_loop(
     callbacks: List[Callback],
     seed: Optional[int],
     verbose: bool,
+    initial_epoch: int = 0,
 ) -> History:
-    """Drive epochs/batches for ``Sequential.fit``."""
+    """Drive epochs/batches for ``Sequential.fit``.
+
+    ``initial_epoch`` resumes a checkpointed run: epochs 1..initial_epoch
+    are skipped, but their shuffle permutations are still drawn so the
+    remaining epochs see exactly the batches an uninterrupted run would
+    have seen (bit-exact resume given restored weights + optimizer state).
+    """
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if not 0 <= initial_epoch <= epochs:
+        raise ValueError(
+            f"initial_epoch must be in [0, {epochs}], got {initial_epoch}"
+        )
     if x.shape[0] != y.shape[0]:
         raise ValueError(
             f"x has {x.shape[0]} samples but y has {y.shape[0]}"
@@ -168,7 +179,10 @@ def run_training_loop(
         callback.on_train_begin()
 
     n = x.shape[0]
-    for epoch in range(1, epochs + 1):
+    if shuffle:
+        for _ in range(initial_epoch):
+            rng.permutation(n)
+    for epoch in range(initial_epoch + 1, epochs + 1):
         for callback in callbacks:
             callback.on_epoch_begin(epoch)
         start = time.perf_counter()

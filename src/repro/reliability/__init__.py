@@ -1,0 +1,52 @@
+"""Reliability layer: faults in, recovery out.
+
+The paper's conclusion asks how these systems can run "automatically and
+reliably ... within the life cycle of a production".  This package answers
+with four cooperating pieces:
+
+* :mod:`repro.reliability.faults` — a deterministic, seedable
+  :class:`FaultInjector` that wraps any spectrum source and injects
+  instrument fault models (dropped scans, detector saturation, dead
+  channels, spikes, baseline jumps);
+* :mod:`repro.reliability.retry` — :class:`RetryPolicy` (bounded attempts,
+  exponential backoff, deterministic jitter, injectable sleep) and the
+  :func:`acquire_with_retry` helper used by the MS toolchain and closed
+  loop;
+* :mod:`repro.reliability.checkpoint` — :class:`CheckpointManager` and the
+  :class:`Checkpoint` training callback, enabling
+  ``TrainingService.train_all(resume=True)``;
+* :mod:`repro.reliability.degradation` — :class:`GuardedAnalyzer`, the
+  closed-loop degradation ladder (primary → hold-last-good → fallback →
+  safe estimate).
+"""
+
+from repro.reliability.faults import (
+    AcquisitionError,
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+)
+from repro.reliability.retry import (
+    RetryExhaustedError,
+    RetryPolicy,
+    acquire_with_retry,
+    finite_intensities,
+)
+from repro.reliability.checkpoint import Checkpoint, CheckpointData, CheckpointManager
+from repro.reliability.degradation import DegradationEvent, GuardedAnalyzer
+
+__all__ = [
+    "AcquisitionError",
+    "Checkpoint",
+    "CheckpointData",
+    "CheckpointManager",
+    "DegradationEvent",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "GuardedAnalyzer",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "acquire_with_retry",
+    "finite_intensities",
+]

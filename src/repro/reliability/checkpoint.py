@@ -1,0 +1,220 @@
+"""Checkpoint/resume for unattended training.
+
+The paper's Tool 4 runs "without user interaction" — which means nobody is
+watching when the process dies three topologies into a sweep.  A
+:class:`CheckpointManager` persists models (architecture + weights +
+optimizer state + a JSON state payload) in single crash-safe ``.npz``
+archives, and the :class:`Checkpoint` callback snapshots a model
+periodically during ``fit``.  :class:`~repro.core.training_service.
+TrainingService` builds on both so ``train_all(resume=True)`` restarts a
+killed sweep from the last completed topology/epoch instead of from
+scratch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.nn.serialization import (
+    _apply_umask_mode,
+    atomic_savez,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.nn.training import Callback
+
+__all__ = ["CheckpointData", "CheckpointManager", "Checkpoint"]
+
+_OPT_PREFIX = "opt:"
+
+
+@dataclass
+class CheckpointData:
+    """Everything :meth:`CheckpointManager.load` restores."""
+
+    model: Sequential
+    state: Dict[str, object]
+    optimizer: Optional[Optimizer] = None
+
+
+class CheckpointManager:
+    """Named, crash-safe training checkpoints under one directory.
+
+    Two kinds of entries live side by side: model checkpoints
+    (``<name>.npz`` via :meth:`save`/:meth:`load`) and small JSON state
+    documents (``<name>.json`` via :meth:`save_state`/:meth:`load_state`,
+    used e.g. for sweep progress).  All writes are atomic.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike]):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- model checkpoints -------------------------------------------------
+
+    def path(self, name: str) -> str:
+        self._check_name(name)
+        return os.path.join(self.directory, f"{name}.npz")
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self.path(name))
+
+    def names(self) -> List[str]:
+        return sorted(
+            entry[:-4]
+            for entry in os.listdir(self.directory)
+            if entry.endswith(".npz") and not entry.startswith(".tmp-")
+        )
+
+    def save(
+        self,
+        name: str,
+        model: Sequential,
+        state: Optional[dict] = None,
+        optimizer: Optional[Optimizer] = None,
+    ) -> str:
+        """Persist model + optional optimizer state + JSON-able ``state``."""
+        arrays = {
+            "__config__": _json_array(model_to_dict(model)),
+            "__state__": _json_array(dict(state or {})),
+        }
+        for i, weight in enumerate(model.get_weights()):
+            arrays[f"w{i:04d}"] = weight
+        if optimizer is not None:
+            opt_state = optimizer.get_state()
+            arrays["__optimizer__"] = _json_array(
+                {
+                    "config": optimizer.get_config(),
+                    "iterations": opt_state["iterations"],
+                }
+            )
+            for slot, entries in opt_state["slots"].items():
+                for (layer, param), value in entries.items():
+                    arrays[f"{_OPT_PREFIX}{slot}:{layer}:{param}"] = value
+        return atomic_savez(self.path(name), arrays)
+
+    def load(self, name: str, seed: int = 0) -> CheckpointData:
+        """Rebuild the model (and optimizer, if saved) from a checkpoint."""
+        with np.load(self.path(name)) as data:
+            config = _json_load(data["__config__"])
+            state = _json_load(data["__state__"])
+            weight_keys = sorted(k for k in data.files if k.startswith("w"))
+            weights = [data[k] for k in weight_keys]
+            optimizer = None
+            if "__optimizer__" in data.files:
+                payload = _json_load(data["__optimizer__"])
+                optimizer = get_optimizer(payload["config"])
+                slots: Dict[str, Dict[tuple, np.ndarray]] = {}
+                for key in data.files:
+                    if not key.startswith(_OPT_PREFIX):
+                        continue
+                    slot, layer, param = key[len(_OPT_PREFIX):].split(":", 2)
+                    slots.setdefault(slot, {})[(int(layer), param)] = data[key]
+                optimizer.set_state(
+                    {"iterations": payload["iterations"], "slots": slots}
+                )
+        model = model_from_dict(config, seed=seed)
+        model.set_weights(weights)
+        return CheckpointData(model=model, state=state, optimizer=optimizer)
+
+    def delete(self, name: str) -> None:
+        if self.exists(name):
+            os.remove(self.path(name))
+
+    # -- JSON state documents ----------------------------------------------
+
+    def state_path(self, name: str) -> str:
+        self._check_name(name)
+        return os.path.join(self.directory, f"{name}.json")
+
+    def save_state(self, name: str, payload: dict) -> str:
+        """Atomically persist a small JSON document (sweep progress etc.)."""
+        target = self.state_path(name)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=float)
+            _apply_umask_mode(tmp)
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
+        return target
+
+    def load_state(self, name: str) -> Optional[dict]:
+        """The stored document, or None if it was never saved."""
+        target = self.state_path(name)
+        if not os.path.exists(target):
+            return None
+        with open(target, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def delete_state(self, name: str) -> None:
+        target = self.state_path(name)
+        if os.path.exists(target):
+            os.remove(target)
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not name or os.sep in name or (os.altsep and os.altsep in name):
+            raise ValueError(f"invalid checkpoint name {name!r}")
+
+
+class Checkpoint(Callback):
+    """Training callback: snapshot the model every ``every`` epochs.
+
+    The snapshot carries ``{"epoch": n, "metrics": {...}}`` plus the live
+    optimizer state, so a killed ``fit`` can be resumed bit-exactly with
+    ``fit(..., initial_epoch=n)`` after restoring weights and optimizer.
+    """
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        name: str,
+        every: int = 1,
+        save_optimizer: bool = True,
+        on_save=None,
+    ):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.manager = manager
+        self.checkpoint_name = name
+        self.every = int(every)
+        self.save_optimizer = bool(save_optimizer)
+        self.on_save = on_save  # called with (path, epoch) after each save
+        self.last_saved_epoch: Optional[int] = None
+
+    def on_epoch_end(self, epoch, metrics):
+        if epoch % self.every != 0:
+            return
+        path = self.manager.save(
+            self.checkpoint_name,
+            self.model,
+            state={
+                "epoch": int(epoch),
+                "metrics": {k: float(v) for k, v in metrics.items()},
+            },
+            optimizer=self.model.optimizer if self.save_optimizer else None,
+        )
+        self.last_saved_epoch = int(epoch)
+        if self.on_save is not None:
+            self.on_save(path, int(epoch))
+
+
+def _json_array(payload: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload, default=float).encode("utf-8"),
+                         dtype=np.uint8)
+
+
+def _json_load(array: np.ndarray) -> dict:
+    return json.loads(bytes(array.tobytes()).decode("utf-8"))

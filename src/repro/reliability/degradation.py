@@ -1,0 +1,166 @@
+"""Graceful degradation for closed-loop analyzers.
+
+The paper warns that a deployed network "can only be used for a measurement
+task defined in advance" and needs plausibility guarding in production.
+:class:`GuardedAnalyzer` wraps a primary analyzer (typically the ANN) with
+that guard and a degradation ladder, so one bad scan never crashes the
+control loop and persistent trouble is served by progressively safer
+estimates:
+
+1. **primary** — the ANN, when the input passes the gate and the output is
+   finite;
+2. **hold** — repeat the last good primary estimate for up to
+   ``hold_limit`` consecutive failures (transient faults);
+3. **fallback** — a secondary analyzer (e.g. IHM) once trouble persists;
+4. **safe** — a configured safe estimate when everything else fails.
+
+Degraded steps are counted per tier so supervisory logic (a
+:class:`~repro.core.lifecycle.DriftMonitor`, a recalibration trigger) can
+decide when degradation has gone on long enough to retrain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DegradationEvent", "GuardedAnalyzer"]
+
+TIERS = ("primary", "hold", "fallback", "safe")
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One degraded analyzer call and why it degraded."""
+
+    call: int
+    tier: str
+    reason: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class GuardedAnalyzer:
+    """Analyzer wrapper implementing the degradation ladder.
+
+    ``primary`` and ``fallback`` follow the closed-loop analyzer protocol:
+    ``analyzer(intensities) -> (estimate_vector, seconds)``.  ``checker``
+    is an optional input gate — either an object with a ``check(data)``
+    method returning a truthy report (e.g. a
+    :class:`~repro.ms.plausibility.PlausibilityChecker`) or a plain
+    predicate ``data -> bool``.  ``safe_estimate`` is the last-resort
+    output (e.g. zeros, or the setpoint composition).
+    """
+
+    def __init__(
+        self,
+        primary: Callable[[np.ndarray], tuple],
+        safe_estimate,
+        fallback: Optional[Callable[[np.ndarray], tuple]] = None,
+        checker=None,
+        hold_limit: int = 3,
+    ):
+        if hold_limit < 0:
+            raise ValueError("hold_limit must be >= 0")
+        self.primary = primary
+        self.fallback = fallback
+        self.checker = checker
+        self.safe_estimate = np.asarray(safe_estimate, dtype=np.float64)
+        self.hold_limit = int(hold_limit)
+        self.calls = 0
+        self.degraded_steps = 0
+        self.tier_counts: Dict[str, int] = {tier: 0 for tier in TIERS}
+        self.events: List[DegradationEvent] = []
+        self.last_tier: Optional[str] = None
+        self._last_good: Optional[np.ndarray] = None
+        self._consecutive_failures = 0
+
+    @property
+    def degraded_fraction(self) -> float:
+        return self.degraded_steps / self.calls if self.calls else 0.0
+
+    def reset_counters(self) -> None:
+        """Clear statistics (not the last-good estimate)."""
+        self.calls = 0
+        self.degraded_steps = 0
+        self.tier_counts = {tier: 0 for tier in TIERS}
+        self.events = []
+        self.last_tier = None
+
+    # -- the analyzer protocol ------------------------------------------------
+
+    def __call__(self, intensities: np.ndarray) -> Tuple[np.ndarray, float]:
+        start = time.perf_counter()
+        self.calls += 1
+        data = np.asarray(intensities, dtype=np.float64)
+        input_ok, reason = self._gate(data)
+        estimate = None
+        if input_ok:
+            estimate, reason = self._try(self.primary, data, "primary")
+        if estimate is not None:
+            tier = "primary"
+            self._last_good = estimate
+            self._consecutive_failures = 0
+        else:
+            tier, estimate = self._degrade(data, input_ok, reason)
+        self.tier_counts[tier] += 1
+        self.last_tier = tier
+        return estimate.copy(), time.perf_counter() - start
+
+    analyze = __call__
+
+    # -- internals ------------------------------------------------------------
+
+    def _gate(self, data: np.ndarray) -> Tuple[bool, str]:
+        if not np.isfinite(data).all():
+            return False, "non-finite input"
+        if self.checker is None:
+            return True, ""
+        try:
+            check = getattr(self.checker, "check", self.checker)
+            if not bool(check(data)):
+                return False, "input failed plausibility gate"
+        except Exception as error:
+            return False, f"plausibility checker raised {type(error).__name__}"
+        return True, ""
+
+    @staticmethod
+    def _try(analyzer, data: np.ndarray, label: str):
+        """Run an analyzer; (estimate, "") on success, (None, why) on failure."""
+        try:
+            estimate, _ = analyzer(data)
+        except Exception as error:
+            return None, f"{label} raised {type(error).__name__}: {error}"
+        estimate = np.asarray(estimate, dtype=np.float64)
+        if not np.isfinite(estimate).all():
+            return None, f"{label} produced non-finite output"
+        return estimate, ""
+
+    def _degrade(self, data, input_ok: bool, reason: str):
+        self.degraded_steps += 1
+        self._consecutive_failures += 1
+        tier, estimate = None, None
+        if (
+            self._last_good is not None
+            and self._consecutive_failures <= self.hold_limit
+        ):
+            tier, estimate = "hold", self._last_good
+        elif self.fallback is not None and input_ok:
+            estimate, fallback_reason = self._try(self.fallback, data, "fallback")
+            if estimate is not None:
+                tier = "fallback"
+            else:
+                reason = f"{reason}; {fallback_reason}" if reason else fallback_reason
+        if tier is None:
+            tier, estimate = "safe", self.safe_estimate
+        self.events.append(
+            DegradationEvent(
+                call=self.calls,
+                tier=tier,
+                reason=reason,
+                detail={"consecutive_failures": self._consecutive_failures},
+            )
+        )
+        return tier, estimate

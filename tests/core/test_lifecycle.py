@@ -130,3 +130,41 @@ class TestDriftStatus:
             drifted=False, ewma_residual=0.0, baseline_residual=0.0, observations=1
         )
         assert status.severity == 1.0
+
+
+class TestNonFiniteGuard:
+    def test_nan_spectrum_skipped_and_counted(self, simulator):
+        monitor = _monitor(simulator)
+        x, _ = simulator.generate_dataset(TASK, 5, np.random.default_rng(7))
+        for row in x:
+            status = monitor.observe(row)
+        before = status.ewma_residual
+
+        bad = x[0].copy()
+        bad[10] = np.nan
+        status = monitor.observe(bad)
+        assert monitor.skipped_nonfinite == 1
+        assert status.observations == 5  # unchanged
+        assert status.ewma_residual == pytest.approx(before)
+
+    def test_inf_spectrum_skipped(self, simulator):
+        monitor = _monitor(simulator)
+        bad = np.full(AXIS.size, np.inf)
+        status = monitor.observe(bad)
+        assert monitor.skipped_nonfinite == 1
+        assert status.observations == 0
+        # EWMA never initialised, so status reports the baseline.
+        assert status.ewma_residual == pytest.approx(monitor.baseline_residual)
+
+    def test_skip_before_warmup_never_alarms(self, simulator):
+        monitor = _monitor(simulator)
+        for _ in range(10):
+            status = monitor.observe(np.full(AXIS.size, np.nan))
+        assert monitor.skipped_nonfinite == 10
+        assert not status.drifted
+
+    def test_reset_clears_skip_counter(self, simulator):
+        monitor = _monitor(simulator)
+        monitor.observe(np.full(AXIS.size, np.nan))
+        monitor.reset()
+        assert monitor.skipped_nonfinite == 0

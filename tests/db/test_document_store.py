@@ -163,3 +163,45 @@ class TestStore:
         store.collection("x").insert({"a": 1})
         store.save()
         assert DocumentStore(path).collection("x").count() == 1
+
+
+class TestAliasingRegression:
+    """Documents must never share mutable state with caller objects."""
+
+    def test_nested_mutation_after_insert_is_isolated(self):
+        coll = Collection("x")
+        doc = {"kind": "net", "meta": {"units": [16, 8]}}
+        coll.insert(doc)
+        doc["meta"]["units"].append(4)
+        assert coll.find_one({})["meta"]["units"] == [16, 8]
+
+    def test_mutating_read_results_does_not_corrupt_store(self):
+        coll = Collection("x")
+        coll.insert({"kind": "net", "meta": {"units": [16, 8]}})
+        coll.find_one({})["meta"]["units"].append(99)
+        coll.find({})[0]["meta"]["units"].append(99)
+        stored = coll.get(1)
+        stored["meta"]["units"].append(99)
+        assert coll.find_one({})["meta"]["units"] == [16, 8]
+
+    def test_update_values_are_copied(self):
+        coll = Collection("x")
+        coll.insert({"a": 1})
+        payload = {"history": [0.5, 0.4]}
+        coll.update_one({"a": 1}, payload)
+        payload["history"].append(0.3)
+        assert coll.find_one({})["history"] == [0.5, 0.4]
+
+    def test_to_dict_snapshot_is_independent(self):
+        coll = Collection("x")
+        coll.insert({"meta": {"act": "selu"}})
+        snapshot = coll.to_dict()
+        snapshot["documents"][0]["meta"]["act"] = "relu"
+        assert coll.find_one({})["meta"]["act"] == "selu"
+
+    def test_from_dict_does_not_alias_input(self):
+        payload = {"name": "x", "next_id": 2,
+                   "documents": [{"_id": 1, "meta": {"act": "selu"}}]}
+        coll = Collection.from_dict(payload)
+        payload["documents"][0]["meta"]["act"] = "relu"
+        assert coll.find_one({})["meta"]["act"] == "selu"

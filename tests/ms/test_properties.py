@@ -17,9 +17,13 @@ settings.load_profile("repro_ms")
 
 LIB = default_library()
 
+# Subnormals are excluded: scaling one by e.g. 0.5 underflows to exactly
+# 0.0, which Tool 1 legitimately treats as "compound absent", so the
+# superposition-homogeneity property cannot hold through float underflow.
 concentration_maps = st.dictionaries(
     st.sampled_from(list(DEFAULT_TASK_COMPOUNDS)),
-    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+              allow_subnormal=False),
     min_size=1,
     max_size=5,
 )

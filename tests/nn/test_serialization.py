@@ -80,3 +80,43 @@ class TestFileRoundtrip:
         y = rng.dirichlet(np.ones(4), size=16)
         loss = reloaded.train_on_batch(x, y)
         assert np.isfinite(loss)
+
+
+class TestCrashSafeSave:
+    """save_model must be atomic: a crash mid-write never leaves a partial
+    or corrupt file at the target path."""
+
+    def test_failed_save_leaves_previous_file_intact(self, tmp_path, monkeypatch):
+        import repro.nn.serialization as serialization
+
+        model = _model()
+        path = nn.save_model(model, tmp_path / "model.npz")
+        original_bytes = open(path, "rb").read()
+
+        def partial_write_then_die(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialization.np, "savez", partial_write_then_die)
+        with pytest.raises(OSError, match="disk full"):
+            nn.save_model(model, path)
+
+        assert open(path, "rb").read() == original_bytes
+        reloaded = nn.load_model(path)
+        x = np.random.default_rng(0).random((4, 30))
+        np.testing.assert_allclose(reloaded.predict(x), model.predict(x))
+
+    def test_failed_save_leaves_no_files_behind(self, tmp_path, monkeypatch):
+        import repro.nn.serialization as serialization
+
+        def die(handle, **arrays):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialization.np, "savez", die)
+        with pytest.raises(OSError):
+            nn.save_model(_model(), tmp_path / "fresh.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_leaves_no_temp_files(self, tmp_path):
+        nn.save_model(_model(), tmp_path / "model.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]

@@ -1,0 +1,137 @@
+"""Unit tests for checkpoint save/load and the training callback."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.reliability.checkpoint import Checkpoint, CheckpointManager
+
+
+def _compiled_model(seed=0):
+    model = nn.Sequential([nn.Dense(8, activation="relu"), nn.Dense(3)])
+    model.build((10,), seed=seed)
+    model.compile(nn.Adam(0.01), "mse")
+    return model
+
+
+def _data(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 10)), rng.random((n, 3))
+
+
+class TestCheckpointManager:
+    def test_round_trip_model_and_state(self, tmp_path):
+        model = _compiled_model()
+        manager = CheckpointManager(tmp_path)
+        manager.save("ck", model, state={"epoch": 7, "metrics": {"loss": 0.5}})
+        data = manager.load("ck")
+        assert data.state["epoch"] == 7
+        assert data.state["metrics"]["loss"] == 0.5
+        for a, b in zip(model.get_weights(), data.model.get_weights()):
+            assert np.array_equal(a, b)
+
+    def test_round_trip_optimizer_state(self, tmp_path):
+        model = _compiled_model()
+        x, y = _data()
+        model.fit(x, y, epochs=2, batch_size=16, seed=0)
+        manager = CheckpointManager(tmp_path)
+        manager.save("ck", model, optimizer=model.optimizer)
+        data = manager.load("ck")
+        assert data.optimizer is not None
+        assert data.optimizer.iterations == model.optimizer.iterations
+        original = model.optimizer.get_state()["slots"]
+        restored = data.optimizer.get_state()["slots"]
+        assert set(original) == set(restored)
+        for slot in original:
+            assert set(original[slot]) == set(restored[slot])
+            for key in original[slot]:
+                assert np.array_equal(original[slot][key], restored[slot][key])
+
+    def test_no_optimizer_loads_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("ck", _compiled_model())
+        assert manager.load("ck").optimizer is None
+
+    def test_names_exists_delete(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.names() == []
+        manager.save("a", _compiled_model())
+        manager.save("b", _compiled_model())
+        assert manager.names() == ["a", "b"]
+        assert manager.exists("a")
+        manager.delete("a")
+        assert not manager.exists("a")
+        manager.delete("a")  # idempotent
+
+    def test_invalid_names_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ValueError):
+            manager.path("")
+        with pytest.raises(ValueError):
+            manager.path(f"evil{os.sep}name")
+
+    def test_json_state_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.load_state("sweep") is None
+        manager.save_state("sweep", {"completed": {"mlp": {"val_mae": 0.1}}})
+        assert manager.load_state("sweep")["completed"]["mlp"]["val_mae"] == 0.1
+        manager.delete_state("sweep")
+        assert manager.load_state("sweep") is None
+
+
+class TestBitExactResume:
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path):
+        """Restore weights + optimizer at epoch 3, finish to epoch 6, and
+        land on exactly the weights of an uninterrupted 6-epoch run."""
+        x, y = _data()
+        full = _compiled_model()
+        full.fit(x, y, epochs=6, batch_size=16, seed=0)
+
+        half = _compiled_model()
+        half.fit(x, y, epochs=3, batch_size=16, seed=0)
+        manager = CheckpointManager(tmp_path)
+        manager.save("half", half, state={"epoch": 3}, optimizer=half.optimizer)
+
+        data = manager.load("half")
+        data.model.compile(data.optimizer, "mse")
+        data.model.fit(x, y, epochs=6, batch_size=16, seed=0, initial_epoch=3)
+        for a, b in zip(full.get_weights(), data.model.get_weights()):
+            assert np.array_equal(a, b)
+
+    def test_initial_epoch_validation(self):
+        model = _compiled_model()
+        x, y = _data()
+        with pytest.raises(ValueError):
+            model.fit(x, y, epochs=2, initial_epoch=-1)
+        with pytest.raises(ValueError):
+            model.fit(x, y, epochs=2, initial_epoch=3)
+
+
+class TestCheckpointCallback:
+    def test_saves_every_n_epochs(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        saves = []
+        callback = Checkpoint(
+            manager, "run", every=2, on_save=lambda path, epoch: saves.append(epoch)
+        )
+        model = _compiled_model()
+        x, y = _data()
+        model.fit(x, y, epochs=5, batch_size=16, seed=0, callbacks=[callback])
+        assert saves == [2, 4]
+        assert callback.last_saved_epoch == 4
+        assert manager.load("run").state["epoch"] == 4
+
+    def test_callback_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpoint(CheckpointManager(tmp_path), "run", every=0)
+
+    def test_checkpoint_includes_metrics(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        model = _compiled_model()
+        x, y = _data()
+        model.fit(x, y, epochs=2, batch_size=16, seed=0,
+                  callbacks=[Checkpoint(manager, "run")])
+        state = manager.load("run").state
+        assert "loss" in state["metrics"]

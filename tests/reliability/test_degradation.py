@@ -1,0 +1,209 @@
+"""Unit tests for the graceful-degradation analyzer wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.degradation import GuardedAnalyzer
+
+SAFE = np.array([0.0, 0.0, 1.0])
+
+
+def _good_analyzer(value=0.5):
+    return lambda data: (np.full(3, value), 0.01)
+
+
+def _failing_analyzer(message="analyzer offline"):
+    def analyzer(data):
+        raise RuntimeError(message)
+
+    return analyzer
+
+
+class TestHappyPath:
+    def test_primary_passthrough(self):
+        guard = GuardedAnalyzer(_good_analyzer(0.5), SAFE)
+        estimate, seconds = guard(np.ones(10))
+        assert np.allclose(estimate, 0.5)
+        assert seconds >= 0.0
+        assert guard.last_tier == "primary"
+        assert guard.degraded_steps == 0
+        assert guard.degraded_fraction == 0.0
+
+    def test_analyze_alias(self):
+        guard = GuardedAnalyzer(_good_analyzer(), SAFE)
+        estimate, _ = guard.analyze(np.ones(10))
+        assert np.allclose(estimate, 0.5)
+
+    def test_returns_copy_of_estimate(self):
+        guard = GuardedAnalyzer(_good_analyzer(), SAFE)
+        first, _ = guard(np.ones(10))
+        first[:] = -1.0
+        second, _ = guard(np.ones(10))
+        assert np.allclose(second, 0.5)
+
+
+class TestDegradationLadder:
+    def test_hold_repeats_last_good(self):
+        calls = {"n": 0}
+
+        def flaky(data):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("down")
+            return np.full(3, 0.7), 0.01
+
+        guard = GuardedAnalyzer(flaky, SAFE, hold_limit=3)
+        guard(np.ones(10))
+        estimate, _ = guard(np.ones(10))
+        assert guard.last_tier == "hold"
+        assert np.allclose(estimate, 0.7)
+
+    def test_hold_limit_escalates_to_fallback(self):
+        calls = {"n": 0}
+
+        def flaky(data):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("down")
+            return np.full(3, 0.7), 0.01
+
+        guard = GuardedAnalyzer(
+            flaky, SAFE, fallback=_good_analyzer(0.2), hold_limit=2
+        )
+        tiers = []
+        for _ in range(5):
+            guard(np.ones(10))
+            tiers.append(guard.last_tier)
+        assert tiers == ["primary", "hold", "hold", "fallback", "fallback"]
+
+    def test_no_last_good_goes_straight_past_hold(self):
+        guard = GuardedAnalyzer(
+            _failing_analyzer(), SAFE, fallback=_good_analyzer(0.2), hold_limit=3
+        )
+        estimate, _ = guard(np.ones(10))
+        assert guard.last_tier == "fallback"
+        assert np.allclose(estimate, 0.2)
+
+    def test_safe_when_everything_fails(self):
+        guard = GuardedAnalyzer(
+            _failing_analyzer(), SAFE, fallback=_failing_analyzer(), hold_limit=0
+        )
+        estimate, _ = guard(np.ones(10))
+        assert guard.last_tier == "safe"
+        assert np.array_equal(estimate, SAFE)
+
+    def test_recovery_resets_consecutive_failures(self):
+        calls = {"n": 0}
+
+        def intermittent(data):
+            calls["n"] += 1
+            if calls["n"] in (2, 3, 5):
+                raise RuntimeError("blip")
+            return np.full(3, 0.5), 0.01
+
+        guard = GuardedAnalyzer(intermittent, SAFE, hold_limit=2)
+        tiers = []
+        for _ in range(6):
+            guard(np.ones(10))
+            tiers.append(guard.last_tier)
+        assert tiers == ["primary", "hold", "hold", "primary", "hold", "primary"]
+
+
+class TestGating:
+    def test_non_finite_input_degrades(self):
+        guard = GuardedAnalyzer(_good_analyzer(), SAFE, hold_limit=0)
+        estimate, _ = guard(np.array([1.0, np.nan, 2.0]))
+        assert guard.last_tier == "safe"
+        assert np.array_equal(estimate, SAFE)
+        assert "non-finite" in guard.events[0].reason
+
+    def test_non_finite_input_skips_fallback_too(self):
+        # Fallback analyzers get the same raw data, so a NaN scan must not
+        # reach them either.
+        fallback_calls = {"n": 0}
+
+        def fallback(data):
+            fallback_calls["n"] += 1
+            return np.full(3, 0.2), 0.01
+
+        guard = GuardedAnalyzer(
+            _good_analyzer(), SAFE, fallback=fallback, hold_limit=0
+        )
+        guard(np.array([np.nan, 1.0]))
+        assert fallback_calls["n"] == 0
+        assert guard.last_tier == "safe"
+
+    def test_predicate_checker(self):
+        guard = GuardedAnalyzer(
+            _good_analyzer(), SAFE,
+            checker=lambda data: float(data.sum()) > 5.0, hold_limit=0,
+        )
+        guard(np.ones(10))
+        assert guard.last_tier == "primary"
+        guard(np.ones(2))
+        assert guard.last_tier != "primary"
+
+    def test_object_checker_with_check_method(self):
+        class Checker:
+            def check(self, data):
+                return data.max() < 10.0
+
+        guard = GuardedAnalyzer(_good_analyzer(), SAFE, checker=Checker(),
+                                hold_limit=0)
+        guard(np.ones(10))
+        assert guard.last_tier == "primary"
+        guard(np.full(10, 100.0))
+        assert guard.last_tier != "primary"
+
+    def test_checker_exception_treated_as_gate_failure(self):
+        def broken_checker(data):
+            raise ValueError("checker bug")
+
+        guard = GuardedAnalyzer(_good_analyzer(), SAFE, checker=broken_checker,
+                                hold_limit=0)
+        guard(np.ones(10))
+        assert guard.last_tier == "safe"
+
+    def test_non_finite_primary_output_degrades(self):
+        def bad_output(data):
+            return np.array([np.nan, 0.0, 0.0]), 0.01
+
+        guard = GuardedAnalyzer(bad_output, SAFE, hold_limit=0)
+        estimate, _ = guard(np.ones(10))
+        assert guard.last_tier == "safe"
+        assert np.isfinite(estimate).all()
+
+
+class TestCounters:
+    def test_tier_counts_and_events(self):
+        guard = GuardedAnalyzer(_failing_analyzer(), SAFE, hold_limit=0)
+        for _ in range(4):
+            guard(np.ones(10))
+        assert guard.calls == 4
+        assert guard.degraded_steps == 4
+        assert guard.tier_counts["safe"] == 4
+        assert guard.degraded_fraction == 1.0
+        assert [event.call for event in guard.events] == [1, 2, 3, 4]
+        assert guard.events[-1].detail["consecutive_failures"] == 4
+
+    def test_reset_counters_keeps_last_good(self):
+        calls = {"n": 0}
+
+        def once(data):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("down")
+            return np.full(3, 0.9), 0.01
+
+        guard = GuardedAnalyzer(once, SAFE, hold_limit=5)
+        guard(np.ones(10))
+        guard.reset_counters()
+        assert guard.calls == 0
+        assert guard.events == []
+        estimate, _ = guard(np.ones(10))
+        assert guard.last_tier == "hold"
+        assert np.allclose(estimate, 0.9)
+
+    def test_hold_limit_validation(self):
+        with pytest.raises(ValueError):
+            GuardedAnalyzer(_good_analyzer(), SAFE, hold_limit=-1)

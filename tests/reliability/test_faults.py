@@ -1,0 +1,151 @@
+"""Unit tests for the deterministic fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.faults import (
+    AcquisitionError,
+    FaultConfig,
+    FaultInjector,
+)
+
+
+def _clean_source(size=200, level=2.0):
+    return lambda: np.full(size, level)
+
+
+class TestFaultConfig:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(dropped_scan=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(spike=-0.1)
+
+    def test_severity_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(saturation_level=0.0)
+        with pytest.raises(ValueError):
+            FaultConfig(dead_channel_count=0)
+
+    def test_all_faults_constructor(self):
+        config = FaultConfig.all_faults(0.2)
+        for label in ("dropped_scan", "saturation", "dead_channels",
+                      "spike", "baseline_jump"):
+            assert getattr(config, label) == 0.2
+
+
+class TestSourceResolution:
+    def test_wraps_callable(self):
+        injector = FaultInjector(_clean_source(), FaultConfig())
+        assert injector.acquire().shape == (200,)
+
+    def test_wraps_acquire_method(self):
+        class Source:
+            def acquire(self):
+                return np.ones(10)
+
+        injector = FaultInjector(Source(), FaultConfig())
+        assert injector.acquire().shape == (10,)
+
+    def test_aliases_wrapped_method_name(self):
+        class Instrument:
+            def measure(self, concentrations):
+                return np.ones(10)
+
+        injector = FaultInjector(Instrument(), FaultConfig())
+        # Drop-in replacement: call sites using .measure keep working.
+        assert injector.measure({"A": 1.0}).shape == (10,)
+
+    def test_rejects_unusable_source(self):
+        with pytest.raises(TypeError):
+            FaultInjector(object(), FaultConfig())
+
+
+class TestFaultModels:
+    def test_no_faults_passthrough(self):
+        injector = FaultInjector(_clean_source(), FaultConfig())
+        out = injector.acquire()
+        assert np.array_equal(out, np.full(200, 2.0))
+        assert injector.events == []
+
+    def test_dropped_scan_raises(self):
+        injector = FaultInjector(_clean_source(), FaultConfig(dropped_scan=1.0))
+        with pytest.raises(AcquisitionError):
+            injector.acquire()
+        assert injector.fault_counts == {"dropped_scan": 1}
+
+    def test_saturation_clips(self):
+        injector = FaultInjector(_clean_source(), FaultConfig(saturation=1.0))
+        out = injector.acquire()
+        assert out.max() == pytest.approx(0.6 * 2.0)
+
+    def test_dead_channels_nan(self):
+        config = FaultConfig(dead_channels=1.0, dead_channel_count=5)
+        injector = FaultInjector(_clean_source(), config)
+        out = injector.acquire()
+        assert np.isnan(out).sum() == 5
+
+    def test_spike_adds_outliers(self):
+        config = FaultConfig(spike=1.0, spike_count=3, spike_scale=10.0)
+        injector = FaultInjector(_clean_source(), config)
+        out = injector.acquire()
+        assert (out > 5.0).sum() == 3
+
+    def test_baseline_jump_is_step(self):
+        injector = FaultInjector(_clean_source(), FaultConfig(baseline_jump=1.0))
+        out = injector.acquire()
+        levels = np.unique(np.round(out, 10))
+        assert len(levels) == 2
+        assert levels[0] == pytest.approx(2.0)
+
+    def test_deterministic_given_seed(self):
+        config = FaultConfig.all_faults(0.3)
+
+        def run():
+            injector = FaultInjector(_clean_source(), config, seed=42)
+            outputs = []
+            for _ in range(30):
+                try:
+                    outputs.append(injector.acquire())
+                except AcquisitionError:
+                    outputs.append(None)
+            return outputs, injector.fault_counts
+
+        first, counts_a = run()
+        second, counts_b = run()
+        assert counts_a == counts_b
+        for a, b in zip(first, second):
+            if a is None:
+                assert b is None
+            else:
+                assert np.array_equal(a, b, equal_nan=True)
+
+    def test_event_log_records_scan_numbers(self):
+        injector = FaultInjector(_clean_source(), FaultConfig(spike=1.0))
+        injector.acquire()
+        injector.acquire()
+        assert [event.scan for event in injector.events] == [1, 2]
+        assert all(event.kind == "spike" for event in injector.events)
+
+
+class TestSpectrumObjects:
+    def test_corrupts_spectrum_intensities_in_place(self):
+        from repro.ms.spectrum import MassSpectrum, MzAxis
+
+        axis = MzAxis(1.0, 10.0, 1.0)
+
+        def source():
+            return MassSpectrum(axis, np.ones(axis.size))
+
+        injector = FaultInjector(source, FaultConfig(saturation=1.0))
+        spectrum = injector.acquire()
+        assert isinstance(spectrum, MassSpectrum)
+        assert spectrum.intensities.max() == pytest.approx(0.6)
+
+    def test_source_original_not_needed_after_wrap(self):
+        data = np.arange(10, dtype=float)
+        injector = FaultInjector(lambda: data, FaultConfig(spike=1.0))
+        out = injector.acquire()
+        # The wrapped source's array is never mutated, only the copy.
+        assert np.array_equal(data, np.arange(10, dtype=float))
+        assert not np.array_equal(out, data)
