@@ -1,0 +1,156 @@
+"""SERVING — throughput and shedding behaviour of the hardened frontend.
+
+The paper's real-time claim ("analysis ... within milliseconds") is about
+the bare network; this bench measures what the serving shell around it
+adds and how it behaves past saturation:
+
+(a) direct model inference vs the same inference through
+    :class:`~repro.serving.AnalysisService` (queue + validation + breaker
+    + deadline accounting) at matched load — the serving overhead;
+(b) throughput scaling across worker counts;
+(c) overload: offered load beyond queue capacity must be *shed* with
+    explicit ``queue_full`` rejections while goodput stays near the
+    saturated service rate (no collapse, no hang).
+
+Asserted shape: the service completes requests under modest load, sheds
+explicitly at overload, and every burst request resolves.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.serving import AnalysisService
+
+from conftest import print_table, scale, write_results
+
+LENGTH = 200
+OUTPUTS = 4
+
+
+def _network():
+    model = nn.Sequential(
+        [nn.Dense(32, activation="relu"), nn.Dense(OUTPUTS, activation="softmax")]
+    )
+    model.build((LENGTH,), seed=0)
+    model.compile(nn.Adam(0.01), "mae")
+    return model
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    model = _network()
+    rng = np.random.default_rng(0)
+    n_requests = scale(200, 2000)
+    spectra = rng.random((n_requests, LENGTH))
+
+    def analyzer(data):
+        return model.predict(data[None, :], validate=False)[0]
+
+    rows = []
+
+    # (a) the bare analyzer, single-threaded — the baseline rate.
+    start = time.perf_counter()
+    for row in spectra:
+        analyzer(row)
+    direct_s = time.perf_counter() - start
+    rows.append(
+        {
+            "mode": "direct",
+            "workers": 1,
+            "requests": n_requests,
+            "completed": n_requests,
+            "shed": 0,
+            "throughput_rps": n_requests / direct_s,
+        }
+    )
+
+    # (b) through the service at 1 and 2 workers, ample queue.
+    for workers in (1, 2):
+        service = AnalysisService(
+            analyzer,
+            workers=workers,
+            queue_size=64,
+            default_deadline_s=30.0,
+            expected_length=LENGTH,
+        )
+        with service:
+            start = time.perf_counter()
+            pending = []
+            for row in spectra:
+                request = service.submit(row)
+                pending.append(request)
+                # Steady offered load: give the queue room to drain.
+                if len(pending) % 64 == 0:
+                    pending[-64].result(timeout=30.0)
+            results = [p.result(timeout=30.0) for p in pending]
+            elapsed = time.perf_counter() - start
+        completed = sum(1 for r in results if r.ok)
+        rows.append(
+            {
+                "mode": "service",
+                "workers": workers,
+                "requests": n_requests,
+                "completed": completed,
+                "shed": sum(1 for r in results if not r.ok),
+                "throughput_rps": completed / elapsed,
+            }
+        )
+
+    # (c) overload burst: everything at once into a tiny queue.
+    burst_n = scale(100, 1000)
+    service = AnalysisService(
+        analyzer,
+        workers=2,
+        queue_size=8,
+        default_deadline_s=30.0,
+        expected_length=LENGTH,
+    )
+    with service:
+        start = time.perf_counter()
+        pending = [service.submit(spectra[i % n_requests]) for i in range(burst_n)]
+        results = [p.result(timeout=30.0) for p in pending]
+        elapsed = time.perf_counter() - start
+    completed = sum(1 for r in results if r.ok)
+    shed = sum(1 for r in results if not r.ok and r.reason == "queue_full")
+    rows.append(
+        {
+            "mode": "burst",
+            "workers": 2,
+            "requests": burst_n,
+            "completed": completed,
+            "shed": shed,
+            "throughput_rps": completed / elapsed,
+        }
+    )
+    return rows, results
+
+
+def test_serving_throughput(throughput):
+    rows, burst_results = throughput
+    print_table(
+        "serving throughput (requests/s)",
+        rows,
+        ["mode", "workers", "requests", "completed", "shed", "throughput_rps"],
+    )
+    write_results("serving_throughput", {"rows": rows})
+
+    by_mode = {}
+    for row in rows:
+        by_mode.setdefault(row["mode"], []).append(row)
+
+    # Modest load through the service completes everything.
+    for row in by_mode["service"]:
+        assert row["completed"] == row["requests"]
+        assert row["throughput_rps"] > 0
+
+    # Overload is shed explicitly, and every request resolved.
+    burst = by_mode["burst"][0]
+    assert burst["completed"] + burst["shed"] == burst["requests"]
+    assert burst["completed"] > 0
+    for result in burst_results:
+        assert result is not None
+        if not result.ok:
+            assert result.reason == "queue_full"

@@ -44,16 +44,27 @@ class PIController:
             raise ValueError("output_max must exceed output_min")
 
     def update(self, measurement: float, dt: float = 1.0) -> float:
-        """One control step; returns the new actuator value."""
+        """One control step; returns the new actuator value.
+
+        Anti-windup is conditional integration: the integral only
+        accumulates while the actuator is unsaturated, or while the error
+        drives the output *back toward* the permitted range.  The
+        saturation test is the explicit clamping condition (``raw`` beyond
+        the bound), not a float-equality comparison of the clipped value —
+        exact equality misclassifies ``raw`` landing on a bound and is one
+        rounding error away from silently disabling the back-out.
+        """
         if dt <= 0:
             raise ValueError("dt must be positive")
         error = self.setpoint - measurement
-        self._integral += error * dt
-        raw = self.kp * error + self.ki * self._integral
+        candidate = self._integral + error * dt
+        raw = self.kp * error + self.ki * candidate
         output = float(np.clip(raw, self.output_min, self.output_max))
-        # Anti-windup: stop integrating while saturated in that direction.
-        if raw != output:
-            self._integral -= error * dt
+        winding_deeper = (raw > self.output_max and error > 0) or (
+            raw < self.output_min and error < 0
+        )
+        if not winding_deeper:
+            self._integral = candidate
         return output
 
     def reset(self) -> None:

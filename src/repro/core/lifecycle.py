@@ -41,7 +41,18 @@ class DriftStatus:
 
     @property
     def severity(self) -> float:
-        """EWMA residual relative to baseline (1.0 = nominal)."""
+        """EWMA residual relative to baseline (1.0 = nominal).
+
+        Degenerate baselines are handled explicitly rather than dividing
+        by zero: a zero (or negative) ``baseline_residual`` with *any*
+        positive observed residual returns ``inf`` — against a perfect
+        baseline, any unexplained residual is infinitely anomalous and
+        callers comparing ``severity`` against an alarm threshold will
+        always fire.  When both baseline and observation are zero the
+        status is nominal and severity is exactly ``1.0``.  Callers that
+        persist severity (JSON, provenance records) must be prepared for
+        the non-finite value.
+        """
         if self.baseline_residual <= 0:
             return float("inf") if self.ewma_residual > 0 else 1.0
         return self.ewma_residual / self.baseline_residual

@@ -31,6 +31,7 @@ from repro.ms.spectrum import MassSpectrum, MzAxis
 from repro.nn.model import Sequential
 from repro.nn.training import EarlyStopping, History
 from repro.reliability.retry import RetryPolicy, finite_intensities
+from repro.reliability.validation import validate_spectrum
 
 __all__ = ["MSToolchain", "ToolchainResult"]
 
@@ -132,7 +133,22 @@ class MSToolchain:
     def build_simulator(
         self, measurements: Sequence[Measurement], measurements_artifact: int
     ) -> Tuple[MassSpectrometerSimulator, CharacterizationResult, int]:
-        """Tool 2 + Tool 3: characterize, then construct the simulator."""
+        """Tool 2 + Tool 3: characterize, then construct the simulator.
+
+        Ingestion gate: every reference spectrum is validated (1-D, finite,
+        matching this toolchain's m/z axis) before it can reach the
+        characterization fit — one NaN scan admitted here would otherwise
+        poison the fitted peak characteristics and, through the simulator,
+        every training spectrum derived from them.  Invalid scans raise a
+        :class:`~repro.reliability.validation.ValidationError` subclass
+        naming the offending measurement.
+        """
+        for index, (spectrum, _) in enumerate(measurements):
+            validate_spectrum(
+                spectrum,
+                length=self.axis.size,
+                field=f"measurement[{index}]",
+            )
         result = characterize_instrument(
             measurements, self.task_compounds, self.library
         )

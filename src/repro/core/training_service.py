@@ -30,6 +30,7 @@ from repro.core.topologies import TopologySpec
 from repro.db.provenance import ProvenanceTracker
 from repro.nn.metrics import mean_absolute_error, mean_squared_error, r2_score
 from repro.nn.model import Sequential
+from repro.nn.sentinel import DivergenceSentinel
 from repro.nn.training import EarlyStopping
 from repro.reliability.checkpoint import Checkpoint, CheckpointManager
 
@@ -38,7 +39,16 @@ __all__ = ["TrainingConfig", "TrainingRun", "TrainingService"]
 
 @dataclass(frozen=True)
 class TrainingConfig:
-    """Hyperparameters shared by every run of a service invocation."""
+    """Hyperparameters shared by every run of a service invocation.
+
+    ``clip_norm`` enables global gradient-norm clipping in every run.
+    ``sentinel=True`` (the default) attaches a
+    :class:`~repro.nn.sentinel.DivergenceSentinel` to every run, so a
+    topology whose training goes non-finite is rolled back to its
+    last-good state with a halved learning rate instead of finishing the
+    sweep with NaN weights; ``sentinel_max_rollbacks`` bounds how often
+    before the run is abandoned as diverged.
+    """
 
     epochs: int = 30
     batch_size: int = 64
@@ -47,6 +57,9 @@ class TrainingConfig:
     train_fraction: float = 0.8
     patience: Optional[int] = 8
     seed: int = 0
+    clip_norm: Optional[float] = None
+    sentinel: bool = True
+    sentinel_max_rollbacks: int = 5
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -55,6 +68,10 @@ class TrainingConfig:
             raise ValueError("batch_size must be >= 1")
         if not 0.0 < self.train_fraction < 1.0:
             raise ValueError("train_fraction must be in (0, 1)")
+        if self.clip_norm is not None and self.clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        if self.sentinel_max_rollbacks < 1:
+            raise ValueError("sentinel_max_rollbacks must be >= 1")
 
 
 @dataclass
@@ -67,6 +84,7 @@ class TrainingRun:
     epochs_run: int
     artifact_id: Optional[int] = None
     resumed: bool = False
+    rollbacks: int = 0
 
 
 class TrainingService:
@@ -211,6 +229,16 @@ class TrainingService:
             callbacks.append(
                 EarlyStopping(patience=config.patience, restore_best_weights=True)
             )
+        sentinel: Optional[DivergenceSentinel] = None
+        if config.sentinel:
+            sentinel = DivergenceSentinel(
+                max_rollbacks=config.sentinel_max_rollbacks,
+                manager=self.checkpoints,
+                checkpoint_name=(
+                    checkpoint_name if self.checkpoints is not None else None
+                ),
+            )
+            callbacks.append(sentinel)
         if self.checkpoints is not None:
             callbacks.append(
                 Checkpoint(
@@ -233,7 +261,20 @@ class TrainingService:
             callbacks=callbacks,
             seed=config.seed,
             initial_epoch=initial_epoch,
+            clip_norm=config.clip_norm,
         )
+        if sentinel is not None and sentinel.triggered:
+            for event in sentinel.events:
+                self._record_event(
+                    "divergence_rollback",
+                    {
+                        "topology": topology.name,
+                        "epoch": event.epoch,
+                        "reason": event.reason,
+                        "new_learning_rate": event.new_learning_rate,
+                    },
+                    dataset_artifact,
+                )
         epochs_run = initial_epoch + len(history.epochs)
         metrics = self._score(model, validation, evaluation_data)
         if self.checkpoints is not None:
@@ -256,6 +297,7 @@ class TrainingService:
             epochs_run=epochs_run,
             artifact_id=artifact_id,
             resumed=initial_epoch > 0,
+            rollbacks=sentinel.rollbacks if sentinel is not None else 0,
         )
 
     def _reload_completed(
@@ -332,9 +374,15 @@ class TrainingService:
     # -- selection & export ------------------------------------------------
 
     def select_best(self, criterion: str = "val_mae", mode: str = "min") -> TrainingRun:
-        """Best run by a selectable quality criterion."""
+        """Best run by a selectable quality criterion.
+
+        Raises a clear ``RuntimeError("no completed training runs")`` when
+        no run ever completed (empty or fully-failed sweep) instead of a
+        bare ``ValueError`` escaping from ``min()``, and ``KeyError`` when
+        runs exist but none recorded ``criterion``.
+        """
         if not self.runs:
-            raise RuntimeError("no runs recorded; call train_all first")
+            raise RuntimeError("no completed training runs")
         scored = [run for run in self.runs if criterion in run.metrics]
         if not scored:
             raise KeyError(f"no run has metric {criterion!r}")

@@ -69,6 +69,7 @@ from repro.nn.model import Sequential
 from repro.nn.preprocessing import MinMaxScaler, StandardScaler, scaler_from_config
 from repro.nn.optimizers import SGD, Adam, Optimizer, RMSprop, get_optimizer
 from repro.nn.serialization import load_model, save_model
+from repro.nn.sentinel import DivergenceError, DivergenceSentinel, SentinelEvent
 from repro.nn.training import Callback, EarlyStopping, History, TrainingLogger
 from repro.nn.flops import count_model_flops, count_model_params, layer_flops
 
@@ -82,6 +83,8 @@ __all__ = [
     "Constant",
     "Conv1D",
     "Dense",
+    "DivergenceError",
+    "DivergenceSentinel",
     "Dropout",
     "EarlyStopping",
     "Flatten",
@@ -107,6 +110,7 @@ __all__ = [
     "Reshape",
     "ResidualDense",
     "SGD",
+    "SentinelEvent",
     "Sequential",
     "StandardScaler",
     "TrainingLogger",

@@ -80,10 +80,24 @@ class Sequential:
             grad = layer.backward(grad)
         return grad
 
-    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Inference in mini-batches (keeps im2col memory bounded)."""
+    def predict(
+        self, x: np.ndarray, batch_size: int = 256, validate: bool = True
+    ) -> np.ndarray:
+        """Inference in mini-batches (keeps im2col memory bounded).
+
+        With ``validate=True`` (the default) the input is gated at this
+        boundary: it must be numeric, finite, and match the model's
+        ``input_shape`` on the trailing axes — otherwise a
+        :class:`~repro.reliability.validation.ValidationError` subclass is
+        raised instead of silently propagating NaNs into the prediction.
+        """
         self._require_built()
-        x = np.asarray(x, dtype=np.float64)
+        if validate:
+            from repro.reliability.validation import validate_batch
+
+            x = validate_batch(x, feature_shape=self.input_shape, field="x")
+        else:
+            x = np.asarray(x, dtype=np.float64)
         if x.shape[0] <= batch_size:
             return self.forward(x, training=False)
         chunks = [
@@ -114,13 +128,23 @@ class Sequential:
         seed: Optional[int] = None,
         verbose: bool = False,
         initial_epoch: int = 0,
+        clip_norm: Optional[float] = None,
     ) -> History:
         """Standard epoch/mini-batch training loop; returns a History.
 
         ``initial_epoch`` (with restored weights and optimizer state)
         resumes a checkpointed run at epoch ``initial_epoch + 1``.
+
+        ``clip_norm`` enables global gradient-norm clipping for this run:
+        it sets the compiled optimizer's ``clipnorm`` so every batch's
+        gradients are rescaled when their global L2 norm exceeds it — the
+        first line of defence against training divergence.
         """
         self._require_compiled()
+        if clip_norm is not None:
+            if clip_norm <= 0:
+                raise ValueError(f"clip_norm must be positive, got {clip_norm}")
+            self.optimizer.clipnorm = float(clip_norm)
         return run_training_loop(
             self,
             np.asarray(x, dtype=np.float64),

@@ -40,10 +40,22 @@ class _Scaler:
 
     @staticmethod
     def _as_2d(x) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim != 2:
-            raise ValueError(f"expected a 2-D array, got shape {x.shape}")
-        return x
+        """Validation gate: numeric, 2-D, finite.
+
+        Scalers sit at the head of every training/inference pipeline, so a
+        NaN caught here (:class:`~repro.reliability.validation.
+        NonFiniteError`) is a NaN that never reaches fitted statistics or
+        the network.
+        """
+        from repro.reliability.validation import (
+            ensure_array,
+            ensure_finite,
+            ensure_shape,
+        )
+
+        x = ensure_array(x, field="x")
+        ensure_shape(x, ndim=2, field="x")
+        return ensure_finite(x, field="x")
 
 
 class StandardScaler(_Scaler):

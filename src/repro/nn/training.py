@@ -60,6 +60,9 @@ class Callback:
 
     def on_epoch_begin(self, epoch: int) -> None: ...
 
+    def on_batch_end(self, epoch: int, batch: int, loss: float) -> None:
+        """After every optimizer step; ``loss`` is the raw batch loss."""
+
     def on_epoch_end(self, epoch: int, metrics: Dict[str, float]) -> None: ...
 
     def on_train_end(self) -> None: ...
@@ -67,6 +70,16 @@ class Callback:
     @property
     def stop_training(self) -> bool:
         return getattr(self, "_stop", False)
+
+    @property
+    def abort_epoch(self) -> bool:
+        """Set from ``on_batch_end`` to discard and re-run the current epoch.
+
+        The training loop clears the flag after honouring it.  Used by
+        :class:`~repro.nn.sentinel.DivergenceSentinel` to re-run an epoch
+        from restored last-good weights after a divergence rollback.
+        """
+        return getattr(self, "_abort_epoch", False)
 
 
 class EarlyStopping(Callback):
@@ -182,15 +195,32 @@ def run_training_loop(
     if shuffle:
         for _ in range(initial_epoch):
             rng.permutation(n)
-    for epoch in range(initial_epoch + 1, epochs + 1):
+    epoch = initial_epoch
+    while epoch < epochs:
+        epoch += 1
         for callback in callbacks:
             callback.on_epoch_begin(epoch)
         start = time.perf_counter()
         order = rng.permutation(n) if shuffle else np.arange(n)
         epoch_loss = 0.0
-        for i in range(0, n, batch_size):
+        aborted = False
+        for batch_index, i in enumerate(range(0, n, batch_size)):
             batch = order[i : i + batch_size]
-            epoch_loss += model.train_on_batch(x[batch], y[batch]) * len(batch)
+            batch_loss = model.train_on_batch(x[batch], y[batch])
+            epoch_loss += batch_loss * len(batch)
+            for callback in callbacks:
+                callback.on_batch_end(epoch, batch_index, batch_loss)
+            if any(callback.abort_epoch for callback in callbacks):
+                aborted = True
+                break
+        if aborted:
+            # A callback (the divergence sentinel) rolled the model back:
+            # discard this epoch's partial metrics and re-run the epoch.
+            # The re-run draws a fresh shuffle permutation.
+            for callback in callbacks:
+                callback._abort_epoch = False
+            epoch -= 1
+            continue
         metrics = {"loss": epoch_loss / n}
         if validation_data is not None:
             vx, vy = validation_data

@@ -17,7 +17,11 @@ with four cooperating pieces:
   ``TrainingService.train_all(resume=True)``;
 * :mod:`repro.reliability.degradation` — :class:`GuardedAnalyzer`, the
   closed-loop degradation ladder (primary → hold-last-good → fallback →
-  safe estimate).
+  safe estimate);
+* :mod:`repro.reliability.validation` — input validation gates (shape,
+  dtype, finiteness, axis monotonicity, value range) with the structured
+  :class:`ValidationError` taxonomy, applied at the ``Sequential.predict``
+  boundary, MS toolchain ingestion and the preprocessing scalers.
 """
 
 from repro.reliability.faults import (
@@ -34,6 +38,21 @@ from repro.reliability.retry import (
 )
 from repro.reliability.checkpoint import Checkpoint, CheckpointData, CheckpointManager
 from repro.reliability.degradation import DegradationEvent, GuardedAnalyzer
+from repro.reliability.validation import (
+    DtypeError,
+    MonotonicityError,
+    NonFiniteError,
+    RangeError,
+    ShapeError,
+    ValidationError,
+    ensure_array,
+    ensure_finite,
+    ensure_monotonic,
+    ensure_range,
+    ensure_shape,
+    validate_batch,
+    validate_spectrum,
+)
 
 __all__ = [
     "AcquisitionError",
@@ -41,12 +60,25 @@ __all__ = [
     "CheckpointData",
     "CheckpointManager",
     "DegradationEvent",
+    "DtypeError",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",
     "GuardedAnalyzer",
+    "MonotonicityError",
+    "NonFiniteError",
+    "RangeError",
     "RetryExhaustedError",
     "RetryPolicy",
+    "ShapeError",
+    "ValidationError",
     "acquire_with_retry",
+    "ensure_array",
+    "ensure_finite",
+    "ensure_monotonic",
+    "ensure_range",
+    "ensure_shape",
     "finite_intensities",
+    "validate_batch",
+    "validate_spectrum",
 ]

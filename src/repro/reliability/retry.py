@@ -30,7 +30,14 @@ class RetryExhaustedError(AcquisitionError):
 
 
 class RetryPolicy:
-    """Bounded retries with exponential backoff and seeded jitter."""
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    ``deadline_s`` is an optional total time budget per :meth:`call`,
+    measured by the injectable ``clock`` from the first attempt: once the
+    budget would be exhausted by the elapsed time plus the next backoff
+    delay, the policy stops retrying immediately instead of retrying past
+    the deadline (a retry whose result nobody will consume is pure load).
+    """
 
     def __init__(
         self,
@@ -42,6 +49,8 @@ class RetryPolicy:
         retry_on: Tuple[Type[BaseException], ...] = (AcquisitionError,),
         sleep: Callable[[float], None] = time.sleep,
         seed: int = 0,
+        deadline_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -51,6 +60,8 @@ class RetryPolicy:
             raise ValueError("backoff must be >= 1.0")
         if not 0.0 <= jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         self.max_attempts = int(max_attempts)
         self.base_delay = float(base_delay)
         self.backoff = float(backoff)
@@ -58,9 +69,12 @@ class RetryPolicy:
         self.jitter = float(jitter)
         self.retry_on = tuple(retry_on)
         self.sleep = sleep
+        self.deadline_s = float(deadline_s) if deadline_s is not None else None
+        self.clock = clock
         self._rng = np.random.default_rng(seed)
         self.total_attempts = 0
         self.total_retries = 0
+        self.deadline_stops = 0
 
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (1-based), with jitter."""
@@ -72,7 +86,13 @@ class RetryPolicy:
         return raw * (1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0)))
 
     def call(self, fn: Callable, *args, **kwargs):
-        """Call ``fn`` under this policy; re-raise after the last attempt."""
+        """Call ``fn`` under this policy; re-raise after the last attempt.
+
+        Raises :class:`RetryExhaustedError` when the attempts are used up
+        *or* when ``deadline_s`` would be exceeded before the next retry
+        could even start.
+        """
+        start = self.clock()
         last_error: Optional[BaseException] = None
         for attempt in range(1, self.max_attempts + 1):
             self.total_attempts += 1
@@ -82,8 +102,18 @@ class RetryPolicy:
                 last_error = error
                 if attempt == self.max_attempts:
                     break
+                delay = self.delay(attempt)
+                if (
+                    self.deadline_s is not None
+                    and self.clock() - start + delay >= self.deadline_s
+                ):
+                    self.deadline_stops += 1
+                    raise RetryExhaustedError(
+                        f"deadline budget of {self.deadline_s}s exhausted "
+                        f"after {attempt} attempt(s); last: {last_error}"
+                    ) from last_error
                 self.total_retries += 1
-                self.sleep(self.delay(attempt))
+                self.sleep(delay)
         raise RetryExhaustedError(
             f"{self.max_attempts} attempts failed; last: {last_error}"
         ) from last_error

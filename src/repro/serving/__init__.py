@@ -1,0 +1,45 @@
+"""Hardened concurrent serving of spectrum analysis.
+
+The paper argues that millisecond ANN evaluation enables real-time and
+production use; this package is the serving shell that makes the claim
+hold under load and failure:
+
+* :mod:`repro.serving.circuit` — a thread-safe
+  :class:`CircuitBreaker` (closed → open after consecutive failures →
+  half-open probes → closed) isolating a broken analyzer backend;
+* :mod:`repro.serving.service` — :class:`AnalysisService`, a thread-pool
+  frontend with a bounded request queue, per-request deadlines, admission
+  validation (via :mod:`repro.reliability.validation`), an output
+  finiteness gate, and explicit :class:`Rejected` results for every shed
+  or failed request.
+
+Layering: ``serving`` sits above ``reliability`` and below nothing — it
+may be driven by any analyzer callable (ANN, IHM, or a
+:class:`~repro.reliability.degradation.GuardedAnalyzer` ladder).
+"""
+
+from repro.serving.circuit import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitTransition,
+)
+from repro.serving.service import (
+    AnalysisService,
+    Completed,
+    PendingRequest,
+    Rejected,
+)
+
+__all__ = [
+    "AnalysisService",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitTransition",
+    "Completed",
+    "HALF_OPEN",
+    "OPEN",
+    "PendingRequest",
+    "Rejected",
+]

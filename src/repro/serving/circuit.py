@@ -1,0 +1,149 @@
+"""A thread-safe circuit breaker for analyzer backends.
+
+When the analyzer behind the serving layer starts failing — NaN weights
+after a bad deployment, a hung solver, an instrument feeding garbage —
+retrying every request into it just burns worker time and holds the
+request queue hostage.  The breaker implements the classic three-state
+machine:
+
+* **closed** — normal operation; consecutive failures are counted and
+  ``failure_threshold`` of them in a row open the circuit;
+* **open** — every call is refused outright for ``recovery_time_s``;
+* **half-open** — after the cooldown, up to ``half_open_probes`` probe
+  calls are let through; all succeeding closes the circuit, any failing
+  reopens it (and restarts the cooldown).
+
+Time comes from an injectable monotonic ``clock`` so tests drive the
+state machine deterministically.  All methods are safe to call from
+multiple worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitTransition", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class CircuitTransition:
+    """One state change, for post-mortem analysis."""
+
+    at: float
+    from_state: str
+    to_state: str
+    reason: str
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time_s <= 0:
+            raise ValueError("recovery_time_s must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_time_s = float(recovery_time_s)
+        self.half_open_probes = int(half_open_probes)
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        self._probe_successes = 0
+        self.transitions: List[CircuitTransition] = []
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state (transitions open → half-open on its own clock)."""
+        with self._lock:
+            self._maybe_enter_half_open()
+            return self._state
+
+    def _transition(self, to_state: str, reason: str) -> None:
+        self.transitions.append(
+            CircuitTransition(
+                at=float(self.clock()),
+                from_state=self._state,
+                to_state=to_state,
+                reason=reason,
+            )
+        )
+        self._state = to_state
+
+    def _maybe_enter_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self.clock() - self._opened_at >= self.recovery_time_s
+        ):
+            self._transition(HALF_OPEN, "cooldown elapsed")
+            self._probes_issued = 0
+            self._probe_successes = 0
+
+    # -- the protocol ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Half-open consumes a probe slot."""
+        with self._lock:
+            self._maybe_enter_half_open()
+            if self._state == OPEN:
+                return False
+            if self._state == HALF_OPEN:
+                if self._probes_issued >= self.half_open_probes:
+                    return False
+                self._probes_issued += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._transition(CLOSED, "probe(s) succeeded")
+                    self._consecutive_failures = 0
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._open("probe failed")
+                return
+            self._consecutive_failures += 1
+            if self._state == CLOSED and (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open(
+                    f"{self._consecutive_failures} consecutive failures"
+                )
+
+    def _open(self, reason: str) -> None:
+        self._transition(OPEN, reason)
+        self._opened_at = float(self.clock())
+        self._consecutive_failures = 0
+
+    def reset(self) -> None:
+        """Force-close the circuit (manual operator action)."""
+        with self._lock:
+            if self._state != CLOSED:
+                self._transition(CLOSED, "manual reset")
+            self._consecutive_failures = 0

@@ -1,0 +1,411 @@
+"""A hardened concurrent analysis service over any spectrum analyzer.
+
+The paper's case for ANN analysis is that it runs "in milliseconds" and
+therefore supports real-time use.  This module supplies the serving shell
+that claim needs in production: a fixed pool of worker threads pulling
+from a *bounded* queue (back-pressure instead of unbounded memory growth),
+per-request deadlines enforced both in the queue and after the analyzer
+runs, a :class:`~repro.serving.circuit.CircuitBreaker` over the backend so
+a persistently failing analyzer is isolated instead of hammered, input
+validation gates at admission, and an output gate that guarantees a
+non-finite concentration is never handed to a caller.
+
+Every request terminates in exactly one of two explicit results:
+
+* :class:`Completed` — validated input, finite output, within deadline;
+* :class:`Rejected` — with a machine-readable ``reason`` naming which
+  defence fired (``queue_full``, ``deadline_*``, ``circuit_open``,
+  ``invalid_input``, ``analyzer_error``, ``nonfinite_output``,
+  ``shutdown``).
+
+There is no third outcome and no hang: the chaos test drives the service
+with malformed spectra, slow analyzers and burst load concurrently and
+asserts exactly this.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.reliability.validation import ValidationError, validate_spectrum
+from repro.serving.circuit import CircuitBreaker
+
+__all__ = ["Completed", "Rejected", "PendingRequest", "AnalysisService"]
+
+
+@dataclass(frozen=True)
+class Completed:
+    """A successful analysis: finite estimate, in budget."""
+
+    value: np.ndarray
+    request_id: int = -1
+    analyzer_seconds: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """An explicit refusal; ``reason`` names the defence that fired."""
+
+    reason: str
+    request_id: int = -1
+    latency_s: float = 0.0
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+class PendingRequest:
+    """Handle returned by :meth:`AnalysisService.submit`.
+
+    ``result(timeout)`` blocks until the request resolves; on timeout the
+    request is resolved as ``Rejected("deadline_exceeded")`` (first
+    resolver wins — a worker finishing later finds the request abandoned).
+    """
+
+    def __init__(self, request_id: int, data, deadline_at: float, clock,
+                 on_resolve=None):
+        self.request_id = request_id
+        self.data = data
+        self.deadline_at = deadline_at
+        self._clock = clock
+        self._enqueued_at = float(clock())
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._result = None
+        self._on_resolve = on_resolve
+
+    @property
+    def resolved(self) -> bool:
+        return self._event.is_set()
+
+    def latency(self) -> float:
+        return float(self._clock()) - self._enqueued_at
+
+    def resolve(self, result) -> bool:
+        """Install ``result`` if nobody beat us to it; True if we won."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._result = result
+            self._event.set()
+        if self._on_resolve is not None:
+            self._on_resolve(result)
+        return True
+
+    def result(self, timeout: Optional[float] = None):
+        """The request's outcome; never raises, never returns ``None``."""
+        if timeout is None:
+            remaining = self.deadline_at - float(self._clock())
+            # Grace so a worker that started just under the wire can finish.
+            timeout = max(remaining, 0.0) + 1.0
+        if not self._event.wait(timeout):
+            self.resolve(
+                Rejected(
+                    reason="deadline_exceeded",
+                    request_id=self.request_id,
+                    latency_s=self.latency(),
+                )
+            )
+        return self._result
+
+
+_SHUTDOWN = object()
+
+
+class AnalysisService:
+    """Bounded-queue, deadline-aware, circuit-broken analyzer frontend.
+
+    ``analyzer`` follows the closed-loop protocol —
+    ``analyzer(intensities) -> (estimate, seconds)`` — or returns the bare
+    estimate (the service times it).  ``expected_length``, when given, is
+    enforced by the admission validator; pass a custom ``validator``
+    (``data -> validated array``, raising
+    :class:`~repro.reliability.validation.ValidationError`) for stricter
+    gates.  All timing uses the injectable monotonic ``clock``.
+    """
+
+    def __init__(
+        self,
+        analyzer: Callable,
+        workers: int = 2,
+        queue_size: int = 16,
+        default_deadline_s: float = 1.0,
+        expected_length: Optional[int] = None,
+        validator: Optional[Callable] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
+        self.analyzer = analyzer
+        self.workers = int(workers)
+        self.queue_size = int(queue_size)
+        self.default_deadline_s = float(default_deadline_s)
+        self.expected_length = expected_length
+        self.validator = validator
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.clock = clock
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._threads: List[threading.Thread] = []
+        self._ids = itertools.count()
+        self._stats_lock = threading.Lock()
+        self._running = False
+        self.submitted = 0
+        self.completed = 0
+        self.rejections: Dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "AnalysisService":
+        if self._running:
+            raise RuntimeError("service already running")
+        self._running = True
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"analysis-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful drain: queued requests finish, then workers exit."""
+        if not self._running:
+            return
+        self._running = False
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+        # Anything still queued behind a shutdown marker is refused.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            self._finish(
+                item,
+                Rejected(
+                    reason="shutdown",
+                    request_id=item.request_id,
+                    latency_s=item.latency(),
+                ),
+            )
+
+    def __enter__(self) -> "AnalysisService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the public protocol ----------------------------------------------
+
+    def submit(self, intensities, deadline_s: Optional[float] = None) -> PendingRequest:
+        """Enqueue one spectrum; never blocks.
+
+        Load shedding happens here: a full queue resolves the request
+        immediately as ``Rejected("queue_full")`` instead of making the
+        caller wait behind traffic that will miss its deadline anyway.
+        """
+        if not self._running:
+            raise RuntimeError("service is not running; call start() first")
+        deadline_s = (
+            self.default_deadline_s if deadline_s is None else float(deadline_s)
+        )
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        request = PendingRequest(
+            request_id=next(self._ids),
+            data=intensities,
+            deadline_at=float(self.clock()) + deadline_s,
+            clock=self.clock,
+            on_resolve=self._record,
+        )
+        with self._stats_lock:
+            self.submitted += 1
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            request.resolve(
+                Rejected(
+                    reason="queue_full",
+                    request_id=request.request_id,
+                    detail={"queue_size": self.queue_size},
+                ),
+            )
+        return request
+
+    def analyze(self, intensities, deadline_s: Optional[float] = None):
+        """Submit and wait; returns a :class:`Completed` or :class:`Rejected`."""
+        return self.submit(intensities, deadline_s=deadline_s).result()
+
+    def stats(self) -> Dict[str, object]:
+        with self._stats_lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejections": dict(self.rejections),
+                "circuit_state": self.breaker.state,
+            }
+
+    # -- workers -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            try:
+                self._handle(item)
+            except Exception as error:  # a defence itself failed: refuse,
+                # never let a worker thread die and strand the queue.
+                self._finish(
+                    item,
+                    Rejected(
+                        reason="internal_error",
+                        request_id=item.request_id,
+                        latency_s=item.latency(),
+                        detail={"error": f"{type(error).__name__}: {error}"},
+                    ),
+                )
+
+    def _handle(self, request: PendingRequest) -> None:
+        if request.resolved:  # caller gave up while we were queued
+            return
+        now = float(self.clock())
+        if now >= request.deadline_at:
+            self._finish(
+                request,
+                Rejected(
+                    reason="deadline_expired_in_queue",
+                    request_id=request.request_id,
+                    latency_s=request.latency(),
+                ),
+            )
+            return
+        if not self.breaker.allow():
+            self._finish(
+                request,
+                Rejected(
+                    reason="circuit_open",
+                    request_id=request.request_id,
+                    latency_s=request.latency(),
+                ),
+            )
+            return
+        try:
+            data = self._validate(request.data)
+        except ValidationError as error:
+            # Bad input is the caller's fault, not the analyzer's: it must
+            # not push the breaker toward open.
+            self.breaker.record_success()
+            self._finish(
+                request,
+                Rejected(
+                    reason="invalid_input",
+                    request_id=request.request_id,
+                    latency_s=request.latency(),
+                    detail={"error": str(error)},
+                ),
+            )
+            return
+        started = float(self.clock())
+        try:
+            value, analyzer_seconds = self._call_analyzer(data, started)
+        except Exception as error:
+            self.breaker.record_failure()
+            self._finish(
+                request,
+                Rejected(
+                    reason="analyzer_error",
+                    request_id=request.request_id,
+                    latency_s=request.latency(),
+                    detail={"error": f"{type(error).__name__}: {error}"},
+                ),
+            )
+            return
+        value = np.asarray(value, dtype=np.float64)
+        if not np.isfinite(value).all():
+            self.breaker.record_failure()
+            self._finish(
+                request,
+                Rejected(
+                    reason="nonfinite_output",
+                    request_id=request.request_id,
+                    latency_s=request.latency(),
+                ),
+            )
+            return
+        if float(self.clock()) >= request.deadline_at:
+            # Correct but too late; a chronically slow backend should trip
+            # the breaker just like a failing one.
+            self.breaker.record_failure()
+            self._finish(
+                request,
+                Rejected(
+                    reason="deadline_exceeded",
+                    request_id=request.request_id,
+                    latency_s=request.latency(),
+                    detail={"analyzer_seconds": analyzer_seconds},
+                ),
+            )
+            return
+        self.breaker.record_success()
+        self._finish(
+            request,
+            Completed(
+                value=value,
+                request_id=request.request_id,
+                analyzer_seconds=analyzer_seconds,
+                latency_s=request.latency(),
+            ),
+        )
+
+    def _validate(self, data) -> np.ndarray:
+        if self.validator is not None:
+            return self.validator(data)
+        return validate_spectrum(data, length=self.expected_length)
+
+    def _call_analyzer(self, data: np.ndarray, started: float):
+        result = self.analyzer(data)
+        if isinstance(result, tuple) and len(result) == 2:
+            return result[0], float(result[1])
+        return result, float(self.clock()) - started
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _finish(self, request: PendingRequest, result) -> None:
+        request.resolve(result)
+
+    def _record(self, result) -> None:
+        """Count every resolution exactly once, whoever resolved it."""
+        with self._stats_lock:
+            if isinstance(result, Completed):
+                self.completed += 1
+            else:
+                self.rejections[result.reason] = (
+                    self.rejections.get(result.reason, 0) + 1
+                )

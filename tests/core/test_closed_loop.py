@@ -45,6 +45,41 @@ class TestPIController:
         out = controller.update(2.0)
         assert out < 1.5
 
+    def test_integration_continues_exactly_at_the_saturation_boundary(self):
+        # raw == output_max is NOT saturation: integration must proceed.
+        # (Regression for the old `raw != output` float-equality test, which
+        # conflated "landed exactly on the bound" with "clamped".)
+        controller = PIController(kp=0.0, ki=1.0, setpoint=1.0,
+                                  output_min=0.0, output_max=2.0)
+        assert controller.update(0.0) == pytest.approx(1.0)
+        assert controller.update(0.0) == pytest.approx(2.0)  # lands on max
+        assert controller._integral == pytest.approx(2.0)  # integrated
+        controller.update(0.0)  # now truly clamped: blocked
+        assert controller._integral == pytest.approx(2.0)
+
+    def test_integral_bounded_under_sustained_saturation(self):
+        controller = PIController(kp=0.0, ki=1.0, setpoint=1.0,
+                                  output_min=0.0, output_max=1.5)
+        for _ in range(100):
+            controller.update(0.0)
+        # Conditional integration: the integral stops the moment another
+        # step would push the raw output deeper past the bound.
+        assert controller._integral <= 1.5 + 1e-9
+
+    def test_wound_integral_unwinds_while_still_saturated(self):
+        # A controller whose integral got wound far past the bound (e.g. a
+        # setpoint change mid-run) is still saturated during recovery; the
+        # old back-out logic froze the integral in that state forever.
+        controller = PIController(kp=0.0, ki=1.0, setpoint=1.0,
+                                  output_min=0.0, output_max=1.0)
+        controller._integral = 5.0
+        assert controller.update(1.5) == 1.0  # saturated high...
+        assert controller._integral < 5.0  # ...but unwinding
+        for _ in range(20):
+            controller.update(1.5)
+        # Once unwound, the output leaves the rail.
+        assert controller.update(1.5) < 1.0
+
     def test_reset(self):
         controller = PIController(kp=0.0, ki=1.0, setpoint=1.0,
                                   output_min=-10, output_max=10)

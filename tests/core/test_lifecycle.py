@@ -131,6 +131,25 @@ class TestDriftStatus:
         )
         assert status.severity == 1.0
 
+    def test_negative_baseline_treated_as_degenerate(self):
+        # A negative baseline is as degenerate as a zero one (documented
+        # in the severity docstring): any positive residual is infinitely
+        # anomalous, no residual is nominal.
+        anomalous = DriftStatus(
+            drifted=True, ewma_residual=0.1, baseline_residual=-0.5, observations=3
+        )
+        assert anomalous.severity == float("inf")
+        nominal = DriftStatus(
+            drifted=False, ewma_residual=0.0, baseline_residual=-0.5, observations=3
+        )
+        assert nominal.severity == 1.0
+
+    def test_nominal_severity_is_the_plain_ratio(self):
+        status = DriftStatus(
+            drifted=False, ewma_residual=0.3, baseline_residual=0.2, observations=9
+        )
+        assert status.severity == pytest.approx(1.5)
+
 
 class TestNonFiniteGuard:
     def test_nan_spectrum_skipped_and_counted(self, simulator):

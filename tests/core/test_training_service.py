@@ -113,3 +113,111 @@ class TestSelectionAndExport:
         assert len(rows) == 2
         for row in rows:
             assert {"topology", "parameters", "epochs_run", "val_mae"} <= set(row)
+
+
+class PoisonedTopology(TopologySpec):
+    """A topology whose model NaN-poisons its weights at one global batch."""
+
+    poison_at_batch = 4
+
+    def build(self, input_shape, seed=0):
+        model = super().build(input_shape, seed=seed)
+        original = model.train_on_batch
+        counter = {"batches": 0, "poisoned": False}
+
+        def poisoned_train_on_batch(x, y):
+            counter["batches"] += 1
+            if not counter["poisoned"] and counter["batches"] == self.poison_at_batch:
+                counter["poisoned"] = True
+                model.layers[0].params["W"][:] = np.nan
+            return original(x, y)
+
+        model.train_on_batch = poisoned_train_on_batch
+        return model
+
+
+def _poisoned_spec():
+    base = mlp_topology(3, hidden_units=(16,))
+    spec = PoisonedTopology(name="mlp_poisoned", description=base.description)
+    spec.layers = base.layers
+    return spec
+
+
+class TestDivergenceSentinelInSweep:
+    def test_sweep_survives_injected_nan(self):
+        """Acceptance: a topology sweep with an injected NaN completes
+        end-to-end — the sentinel rolls back, reduces the LR, and every
+        topology still trains to a finite result."""
+        provenance = ProvenanceTracker()
+        service = TrainingService(
+            TrainingConfig(epochs=4, batch_size=16, patience=None),
+            provenance=provenance,
+        )
+        specs = [_poisoned_spec()] + _specs()
+        runs = service.train_all(specs, _dataset(), dataset_artifact=None)
+
+        assert len(runs) == len(specs)
+        by_name = {run.topology_name: run for run in runs}
+        # The poisoned topology recovered instead of finishing with NaNs.
+        poisoned = by_name["mlp_poisoned"]
+        assert poisoned.rollbacks >= 1
+        for run in runs:
+            assert np.isfinite(run.metrics["val_mae"])
+            assert all(
+                np.isfinite(w).all() for w in run.model.get_weights()
+            )
+        # Healthy topologies were untouched by the sentinel.
+        assert by_name["mlp_16"].rollbacks == 0
+        assert by_name["mlp_8x8"].rollbacks == 0
+        # Selection still works across the recovered sweep.
+        best = service.select_best("val_mae")
+        assert best.topology_name in by_name
+        # The rollback left an audit trail in provenance.
+        events = provenance.find(kind="divergence_rollback")
+        assert events
+        assert any(
+            "non-finite" in event["metadata"]["reason"] for event in events
+        )
+
+    def test_sweep_with_checkpoints_and_injected_nan(self, tmp_path):
+        from repro.reliability.checkpoint import CheckpointManager
+
+        service = TrainingService(
+            TrainingConfig(epochs=4, batch_size=16, patience=None),
+            checkpoints=CheckpointManager(tmp_path),
+        )
+        runs = service.train_all([_poisoned_spec()], _dataset())
+        assert runs[0].rollbacks >= 1
+        assert np.isfinite(runs[0].metrics["val_mae"])
+
+    def test_sentinel_can_be_disabled(self):
+        service = TrainingService(
+            TrainingConfig(epochs=2, sentinel=False)
+        )
+        runs = service.train_all(_specs()[:1], _dataset())
+        assert runs[0].rollbacks == 0
+
+    def test_clip_norm_flows_through_to_the_optimizer(self):
+        service = TrainingService(
+            TrainingConfig(epochs=1, clip_norm=2.5)
+        )
+        runs = service.train_all(_specs()[:1], _dataset())
+        assert runs[0].model.optimizer.clipnorm == 2.5
+
+
+class TestConfigRobustnessFields:
+    def test_clip_norm_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(clip_norm=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(clip_norm=-1.0)
+
+    def test_sentinel_max_rollbacks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(sentinel_max_rollbacks=0)
+
+
+class TestSelectBestEmpty:
+    def test_empty_run_set_raises_clear_runtime_error(self):
+        with pytest.raises(RuntimeError, match="no completed training runs"):
+            TrainingService().select_best()

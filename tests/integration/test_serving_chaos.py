@@ -1,0 +1,195 @@
+"""Chaos test for the hardened analysis service.
+
+Drives an :class:`~repro.serving.AnalysisService` fronting a real (tiny)
+network with hostile traffic — malformed spectra, an analyzer that turns
+slow and then starts crashing, and burst load well beyond queue capacity —
+and asserts the service's contract holds throughout:
+
+* every submitted request resolves (no deadlock, no lost request);
+* a ``Completed`` result never carries a non-finite concentration;
+* overload is shed with an explicit ``Rejected`` reason, never a hang;
+* the circuit breaker demonstrably opens under sustained backend failure
+  and recovers once the backend heals.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.serving import AnalysisService, CircuitBreaker, Completed, Rejected
+from repro.serving.circuit import CLOSED, OPEN
+
+LENGTH = 32
+OUTPUTS = 3
+
+KNOWN_REASONS = {
+    "queue_full",
+    "deadline_expired_in_queue",
+    "deadline_exceeded",
+    "circuit_open",
+    "invalid_input",
+    "analyzer_error",
+    "nonfinite_output",
+    "internal_error",
+    "shutdown",
+}
+
+
+class ChaoticAnalyzer:
+    """A real softmax network wrapped with switchable fault modes."""
+
+    def __init__(self):
+        model = nn.Sequential(
+            [nn.Dense(8, activation="relu"), nn.Dense(OUTPUTS, activation="softmax")]
+        )
+        model.build((LENGTH,), seed=0)
+        model.compile(nn.Adam(0.01), "mae")
+        self.model = model
+        self.slow = False
+        self.crashing = False
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, data):
+        with self._lock:
+            self.calls += 1
+            slow, crashing = self.slow, self.crashing
+        if crashing:
+            raise RuntimeError("injected backend crash")
+        if slow:
+            time.sleep(0.05)
+        return self.model.predict(data[None, :], validate=False)[0]
+
+
+def _traffic(rng):
+    """One request's payload: mostly good spectra, some malformed."""
+    roll = rng.random()
+    if roll < 0.70:
+        return rng.random(LENGTH)
+    if roll < 0.80:
+        bad = rng.random(LENGTH)
+        bad[rng.integers(LENGTH)] = np.nan
+        return bad
+    if roll < 0.90:
+        return rng.random(LENGTH + 5)  # wrong channel count
+    return rng.random((2, LENGTH))  # wrong rank
+
+
+def test_chaos_serving_contract_holds():
+    analyzer = ChaoticAnalyzer()
+    breaker = CircuitBreaker(failure_threshold=4, recovery_time_s=0.2)
+    service = AnalysisService(
+        analyzer,
+        workers=2,
+        queue_size=4,
+        default_deadline_s=0.5,
+        expected_length=LENGTH,
+        breaker=breaker,
+    )
+    results = []
+    with service:
+        rng = np.random.default_rng(42)
+
+        # -- phase 1: burst of mixed traffic from concurrent clients -------
+        pending = []
+        pending_lock = threading.Lock()
+
+        def client(seed):
+            client_rng = np.random.default_rng(seed)
+            for _ in range(20):
+                request = service.submit(_traffic(client_rng))
+                with pending_lock:
+                    pending.append(request)
+
+        clients = [threading.Thread(target=client, args=(seed,)) for seed in range(4)]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive(), "client thread deadlocked"
+
+        for request in pending:
+            result = request.result(timeout=10.0)
+            assert result is not None, "request never resolved"
+            results.append(result)
+
+        burst_completed = [r for r in results if r.ok]
+        burst_rejected = [r for r in results if not r.ok]
+        assert len(results) == 80
+        assert burst_completed, "burst produced no successful analyses"
+        assert any(r.reason == "invalid_input" for r in burst_rejected), (
+            "malformed spectra were not explicitly rejected"
+        )
+        assert any(r.reason == "queue_full" for r in burst_rejected), (
+            "burst load beyond queue capacity was not shed"
+        )
+
+        # -- phase 2: the backend turns slow ------------------------------
+        analyzer.slow = True
+        slow_results = [
+            service.analyze(rng.random(LENGTH), deadline_s=0.02)
+            for _ in range(4)
+        ]
+        results.extend(slow_results)
+        assert all(not r.ok for r in slow_results)
+        assert all(
+            r.reason in ("deadline_exceeded", "deadline_expired_in_queue")
+            for r in slow_results
+        )
+        analyzer.slow = False
+
+        # -- phase 3: the backend crashes until the breaker opens ----------
+        analyzer.crashing = True
+        seen_open = False
+        for _ in range(20):
+            result = service.analyze(rng.random(LENGTH), deadline_s=1.0)
+            results.append(result)
+            assert not result.ok
+            if result.reason == "circuit_open":
+                seen_open = True
+                break
+        assert seen_open, "circuit breaker never opened under sustained failure"
+        assert breaker.state == OPEN
+        calls_when_open = analyzer.calls
+        refused = service.analyze(rng.random(LENGTH), deadline_s=1.0)
+        results.append(refused)
+        assert refused.reason == "circuit_open"
+        assert analyzer.calls == calls_when_open, (
+            "open circuit still forwarded a request to the backend"
+        )
+
+        # -- phase 4: the backend heals; the breaker recovers --------------
+        analyzer.crashing = False
+        time.sleep(0.25)  # past the recovery cooldown
+        recovered = None
+        for _ in range(5):
+            result = service.analyze(rng.random(LENGTH), deadline_s=1.0)
+            results.append(result)
+            if result.ok:
+                recovered = result
+                break
+        assert recovered is not None, "service never recovered after healing"
+        assert breaker.state == CLOSED
+        assert service.analyze(rng.random(LENGTH), deadline_s=1.0).ok
+
+        stats = service.stats()
+
+    # -- global contract over every phase ---------------------------------
+    for result in results:
+        assert isinstance(result, (Completed, Rejected))
+        if result.ok:
+            assert np.isfinite(result.value).all(), (
+                "a Completed result carried a non-finite concentration"
+            )
+            assert result.value.shape == (OUTPUTS,)
+        else:
+            assert result.reason in KNOWN_REASONS, (
+                f"undocumented rejection reason {result.reason!r}"
+            )
+
+    # Exactly-once accounting: everything submitted was resolved and counted.
+    assert stats["completed"] + sum(stats["rejections"].values()) <= stats["submitted"]
+    assert stats["completed"] >= 1

@@ -135,3 +135,87 @@ class TestFiniteIntensities:
         bad = (MassSpectrum(axis, np.full(axis.size, np.nan)), {"A": 1.0})
         assert finite_intensities(good)
         assert not finite_intensities(bad)
+
+
+class TestDeadlineBudget:
+    """The retry loop must stop once the enclosing deadline is exhausted."""
+
+    @staticmethod
+    def _fake_time():
+        state = {"now": 0.0}
+
+        def clock():
+            return state["now"]
+
+        def sleep(seconds):
+            state["now"] += seconds
+
+        return state, clock, sleep
+
+    def test_deadline_s_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=-1.0)
+
+    def test_stops_before_sleeping_past_the_deadline(self):
+        state, clock, sleep = self._fake_time()
+        calls = []
+
+        def always_fails():
+            calls.append(clock())
+            raise AcquisitionError("scan lost")
+
+        # Delays: 1s, 2s, 4s, ... — the third retry would start at t=3+4=7s,
+        # past the 5s budget, so the policy must stop after 3 attempts.
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, backoff=2.0, jitter=0.0,
+            deadline_s=5.0, clock=clock, sleep=sleep,
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(always_fails)
+        assert "deadline budget" in str(excinfo.value)
+        assert len(calls) == 3
+        assert policy.deadline_stops == 1
+        # No sleep past the budget: the clock never exceeded it.
+        assert state["now"] <= 5.0
+
+    def test_chained_cause_preserves_last_error(self):
+        state, clock, sleep = self._fake_time()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=10.0, jitter=0.0,
+            deadline_s=5.0, clock=clock, sleep=sleep,
+        )
+
+        def fails():
+            raise AcquisitionError("detector offline")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(fails)
+        assert isinstance(excinfo.value.__cause__, AcquisitionError)
+
+    def test_success_within_deadline_is_unaffected(self):
+        state, clock, sleep = self._fake_time()
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise AcquisitionError("transient")
+            return "scan"
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, jitter=0.0,
+            deadline_s=60.0, clock=clock, sleep=sleep,
+        )
+        assert policy.call(flaky) == "scan"
+        assert policy.deadline_stops == 0
+
+    def test_no_deadline_behaves_as_before(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.0, sleep=lambda s: None
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(AcquisitionError("x")))
+        assert "3 attempts failed" in str(excinfo.value)
+        assert policy.deadline_stops == 0

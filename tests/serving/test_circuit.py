@@ -1,0 +1,135 @@
+"""Deterministic circuit-breaker state-machine tests (fake clock)."""
+
+import pytest
+
+from repro.serving.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, threshold=3, recovery=10.0, probes=1):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        recovery_time_s=recovery,
+        half_open_probes=probes,
+        clock=clock,
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time_s=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestOpening:
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = _breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_transitions_are_recorded(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert len(breaker.transitions) == 1
+        transition = breaker.transitions[0]
+        assert transition.from_state == CLOSED
+        assert transition.to_state == OPEN
+        assert "3 consecutive failures" in transition.reason
+
+
+class TestRecovery:
+    def test_half_open_after_cooldown(self, clock):
+        breaker = _breaker(clock, recovery=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_only_the_probe_budget(self, clock):
+        breaker = _breaker(clock, recovery=10.0, probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # budget spent
+
+    def test_probe_success_closes(self, clock):
+        breaker = _breaker(clock, recovery=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_all_probes_must_succeed(self, clock):
+        breaker = _breaker(clock, recovery=10.0, probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one of two probes back
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = _breaker(clock, recovery=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)  # only half the fresh cooldown
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_manual_reset(self, clock):
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.transitions[-1].reason == "manual reset"

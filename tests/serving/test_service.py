@@ -1,0 +1,247 @@
+"""Unit tests for the hardened AnalysisService."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    AnalysisService,
+    CircuitBreaker,
+    Completed,
+    Rejected,
+)
+from repro.serving.circuit import CLOSED, OPEN
+
+LENGTH = 8
+
+
+def _spectrum(value=1.0):
+    return np.full(LENGTH, value)
+
+
+def _double(data):
+    return data * 2.0
+
+
+class TestLifecycle:
+    def test_context_manager_starts_and_stops(self):
+        with AnalysisService(_double, expected_length=LENGTH) as service:
+            result = service.analyze(_spectrum())
+            assert isinstance(result, Completed)
+        with pytest.raises(RuntimeError):
+            service.submit(_spectrum())
+
+    def test_double_start_rejected(self):
+        service = AnalysisService(_double)
+        service.start()
+        try:
+            with pytest.raises(RuntimeError):
+                service.start()
+        finally:
+            service.stop()
+
+    def test_stop_is_idempotent(self):
+        service = AnalysisService(_double).start()
+        service.stop()
+        service.stop()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisService(_double, workers=0)
+        with pytest.raises(ValueError):
+            AnalysisService(_double, queue_size=0)
+        with pytest.raises(ValueError):
+            AnalysisService(_double, default_deadline_s=0)
+
+
+class TestHappyPath:
+    def test_completed_carries_value_and_timing(self):
+        with AnalysisService(_double, expected_length=LENGTH) as service:
+            result = service.analyze(_spectrum(3.0))
+        assert result.ok
+        np.testing.assert_allclose(result.value, np.full(LENGTH, 6.0))
+        assert result.latency_s >= 0.0
+        assert np.isfinite(result.value).all()
+
+    def test_tuple_protocol_analyzer(self):
+        def timed(data):
+            return data + 1.0, 0.25
+
+        with AnalysisService(timed, expected_length=LENGTH) as service:
+            result = service.analyze(_spectrum())
+        assert result.ok
+        assert result.analyzer_seconds == 0.25
+
+    def test_stats_add_up(self):
+        with AnalysisService(_double, expected_length=LENGTH) as service:
+            for _ in range(5):
+                service.analyze(_spectrum())
+            bad = _spectrum()
+            bad[0] = np.nan
+            service.analyze(bad)
+            stats = service.stats()
+        assert stats["submitted"] == 6
+        assert stats["completed"] == 5
+        assert sum(stats["rejections"].values()) == 1
+
+
+class TestInputGate:
+    def test_nan_input_rejected(self):
+        with AnalysisService(_double, expected_length=LENGTH) as service:
+            bad = _spectrum()
+            bad[3] = np.nan
+            result = service.analyze(bad)
+        assert isinstance(result, Rejected)
+        assert result.reason == "invalid_input"
+
+    def test_wrong_length_rejected(self):
+        with AnalysisService(_double, expected_length=LENGTH) as service:
+            result = service.analyze(np.ones(LENGTH + 1))
+        assert result.reason == "invalid_input"
+
+    def test_invalid_input_does_not_trip_the_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        with AnalysisService(
+            _double, expected_length=LENGTH, breaker=breaker
+        ) as service:
+            bad = _spectrum()
+            bad[0] = np.inf
+            for _ in range(6):
+                assert service.analyze(bad).reason == "invalid_input"
+        assert breaker.state == CLOSED
+
+    def test_custom_validator(self):
+        def only_positive(data):
+            from repro.reliability.validation import RangeError
+
+            data = np.asarray(data, dtype=np.float64)
+            if (data <= 0).any():
+                raise RangeError("non-positive channel", field="spectrum")
+            return data
+
+        with AnalysisService(_double, validator=only_positive) as service:
+            assert service.analyze(_spectrum(1.0)).ok
+            assert service.analyze(_spectrum(-1.0)).reason == "invalid_input"
+
+
+class TestOutputGate:
+    def test_nonfinite_output_never_reaches_caller(self):
+        def broken(data):
+            return np.full(2, np.nan)
+
+        with AnalysisService(broken, expected_length=LENGTH) as service:
+            result = service.analyze(_spectrum())
+        assert isinstance(result, Rejected)
+        assert result.reason == "nonfinite_output"
+
+    def test_analyzer_exception_is_contained(self):
+        def crashing(data):
+            raise RuntimeError("solver exploded")
+
+        with AnalysisService(crashing, expected_length=LENGTH) as service:
+            result = service.analyze(_spectrum())
+            # The worker survived and can serve the next request.
+            follow_up = service.submit(_spectrum())
+        assert result.reason == "analyzer_error"
+        assert "solver exploded" in result.detail["error"]
+        assert follow_up.result(timeout=5.0).reason == "analyzer_error"
+
+
+class TestLoadShedding:
+    def test_queue_full_sheds_immediately(self):
+        release = threading.Event()
+
+        def blocked(data):
+            release.wait(5.0)
+            return data
+
+        service = AnalysisService(
+            blocked, workers=1, queue_size=1, default_deadline_s=10.0
+        )
+        with service:
+            # First request occupies the worker; second fills the queue;
+            # the rest must shed.
+            pending = [service.submit(_spectrum()) for _ in range(6)]
+            shed = [
+                p.result(timeout=0.5)
+                for p in pending
+                if p.resolved
+            ]
+            assert any(r.reason == "queue_full" for r in shed)
+            release.set()
+            results = [p.result(timeout=5.0) for p in pending]
+        reasons = [r.reason for r in results if not r.ok]
+        assert all(r == "queue_full" for r in reasons)
+        # Worker capacity (1 in flight) + queue capacity (1) bound the
+        # number of admitted requests; exact split depends on timing.
+        completed = sum(1 for r in results if r.ok)
+        assert 1 <= completed <= 2
+        assert completed + len(reasons) == 6
+
+    def test_slow_analyzer_misses_deadline(self):
+        def slow(data):
+            time.sleep(0.2)
+            return data
+
+        with AnalysisService(
+            slow, workers=1, default_deadline_s=0.05
+        ) as service:
+            result = service.analyze(_spectrum())
+        assert not result.ok
+        assert result.reason in ("deadline_exceeded", "deadline_expired_in_queue")
+
+    def test_deadline_expired_in_queue(self):
+        release = threading.Event()
+
+        def blocked(data):
+            release.wait(5.0)
+            return data
+
+        service = AnalysisService(
+            blocked, workers=1, queue_size=4, default_deadline_s=0.1
+        )
+        with service:
+            first = service.submit(_spectrum(), deadline_s=10.0)
+            queued = service.submit(_spectrum(), deadline_s=0.05)
+            time.sleep(0.15)  # let the queued deadline lapse
+            release.set()
+            first_result = first.result(timeout=5.0)
+            queued_result = queued.result(timeout=5.0)
+        assert first_result.ok
+        assert queued_result.reason in (
+            "deadline_expired_in_queue", "deadline_exceeded"
+        )
+
+    def test_submit_validates_deadline(self):
+        with AnalysisService(_double) as service:
+            with pytest.raises(ValueError):
+                service.submit(_spectrum(), deadline_s=0)
+
+
+class TestCircuitIntegration:
+    def test_breaker_opens_and_recovers(self):
+        mode = {"fail": True}
+
+        def flaky(data):
+            if mode["fail"]:
+                raise RuntimeError("backend down")
+            return data
+
+        breaker = CircuitBreaker(failure_threshold=3, recovery_time_s=0.1)
+        with AnalysisService(
+            flaky, workers=1, expected_length=LENGTH, breaker=breaker
+        ) as service:
+            for _ in range(3):
+                assert service.analyze(_spectrum()).reason == "analyzer_error"
+            assert breaker.state == OPEN
+            # While open, requests are refused without touching the backend.
+            assert service.analyze(_spectrum()).reason == "circuit_open"
+            # Backend heals; after the cooldown a probe closes the circuit.
+            mode["fail"] = False
+            time.sleep(0.15)
+            result = service.analyze(_spectrum())
+            assert result.ok
+            assert breaker.state == CLOSED
+            assert service.analyze(_spectrum()).ok
