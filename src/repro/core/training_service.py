@@ -33,6 +33,7 @@ from repro.nn.model import Sequential
 from repro.nn.sentinel import DivergenceSentinel
 from repro.nn.training import EarlyStopping
 from repro.reliability.checkpoint import Checkpoint, CheckpointManager
+from repro.storage.integrity import CorruptArtifactError
 
 __all__ = ["TrainingConfig", "TrainingRun", "TrainingService"]
 
@@ -105,6 +106,17 @@ class TrainingService:
         self.provenance = provenance
         self.checkpoints = checkpoints
         self.runs: List[TrainingRun] = []
+        if (
+            provenance is not None
+            and checkpoints is not None
+            and checkpoints.on_event is None
+        ):
+            # Surface the manager's quarantine/fallback events as
+            # provenance artifacts so an audit sees every time persisted
+            # state failed verification or an older generation was used.
+            checkpoints.on_event = (
+                lambda kind, detail: provenance.record(kind, dict(detail))
+            )
 
     def train_all(
         self,
@@ -142,7 +154,17 @@ class TrainingService:
         )
         sweep_state: Dict[str, object] = {"completed": {}}
         if self.checkpoints is not None and resume:
-            stored = self.checkpoints.load_state(sweep_name)
+            try:
+                stored = self.checkpoints.load_state(sweep_name)
+            except CorruptArtifactError as error:
+                # The corrupt sidecar is already quarantined; the sweep
+                # restarts from the per-topology checkpoints instead.
+                self._record_event(
+                    "sweep_state_corrupt",
+                    {"sweep": sweep_name, "error": str(error)},
+                    dataset_artifact,
+                )
+                stored = None
             if stored is not None:
                 sweep_state = stored
         completed: Dict[str, dict] = dict(sweep_state.get("completed", {}))
@@ -150,12 +172,18 @@ class TrainingService:
         for topology in topologies:
             checkpoint_name = f"{sweep_name}-{topology.name}"
             if resume and topology.name in completed:
-                run = self._reload_completed(
-                    topology, checkpoint_name, completed[topology.name],
-                    dataset_artifact, progress,
-                )
-                self.runs.append(run)
-                continue
+                try:
+                    run = self._reload_completed(
+                        topology, checkpoint_name, completed[topology.name],
+                        dataset_artifact, progress,
+                    )
+                except CorruptArtifactError:
+                    # Every generation of the finished topology failed
+                    # verification (all quarantined): retrain it.
+                    completed.pop(topology.name, None)
+                else:
+                    self.runs.append(run)
+                    continue
             run = self._train_one(
                 topology,
                 checkpoint_name,
@@ -197,9 +225,19 @@ class TrainingService:
         if resume and self.checkpoints is not None and self.checkpoints.exists(
             checkpoint_name
         ):
-            data = self.checkpoints.load(checkpoint_name, seed=config.seed)
-            saved_epoch = int(data.state.get("epoch", 0))
-            if data.state.get("completed"):
+            try:
+                data = self.checkpoints.load(checkpoint_name, seed=config.seed)
+            except CorruptArtifactError as error:
+                # No generation verified (all quarantined by the manager):
+                # train from scratch rather than resuming from bad bytes.
+                self._record_event(
+                    "checkpoint_unreadable",
+                    {"topology": topology.name, "error": str(error)},
+                    dataset_artifact,
+                )
+                data = None
+            saved_epoch = int(data.state.get("epoch", 0)) if data else 0
+            if data is not None and data.state.get("completed"):
                 # Crash landed between the final snapshot and the sweep
                 # state update; the checkpoint already holds the scored model.
                 return self._reload_completed(
@@ -209,7 +247,7 @@ class TrainingService:
                     dataset_artifact,
                     progress,
                 )
-            if 0 < saved_epoch < config.epochs:
+            if data is not None and 0 < saved_epoch < config.epochs:
                 model = data.model
                 model.compile(data.optimizer or config.optimizer, config.loss)
                 initial_epoch = saved_epoch

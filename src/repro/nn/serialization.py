@@ -9,15 +9,16 @@ any other).
 
 from __future__ import annotations
 
+import io
 import json
 import os
-import tempfile
 from typing import Dict, Union
 
 import numpy as np
 
 from repro.nn.layers import LAYER_REGISTRY
 from repro.nn.model import Sequential
+from repro.storage.integrity import atomic_write_bytes
 
 __all__ = [
     "atomic_savez",
@@ -50,34 +51,23 @@ def model_from_dict(config: dict, seed: int = 0) -> Sequential:
     return model
 
 
-def _apply_umask_mode(tmp: str) -> None:
-    """Give a mkstemp file (0600) the permissions a plain open() would."""
-    umask = os.umask(0)
-    os.umask(umask)
-    os.chmod(tmp, 0o666 & ~umask)
+def atomic_savez(
+    path: Union[str, os.PathLike],
+    arrays: Dict[str, np.ndarray],
+    fsync: bool = True,
+) -> str:
+    """Write an ``.npz`` archive crash-safely (and, by default, durably).
 
-
-def atomic_savez(path: Union[str, os.PathLike], arrays: Dict[str, np.ndarray]) -> str:
-    """Write an ``.npz`` archive crash-safely.
-
-    The archive is written to a temporary file in the target directory and
-    moved into place with :func:`os.replace`, so a crash mid-save never
-    leaves a truncated or corrupt file at ``path`` — readers observe either
-    the previous complete archive or the new one.
+    The archive bytes are staged in memory and published through
+    :func:`repro.storage.integrity.atomic_write_bytes` — temp file, flush,
+    fsync, rename, directory fsync — so a crash mid-save never leaves a
+    truncated or corrupt file at ``path`` and an acknowledged save
+    survives power loss.  Readers observe either the previous complete
+    archive or the new one.
     """
-    path = os.fspath(path)
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".npz")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez(handle, **arrays)
-        _apply_umask_mode(tmp)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.remove(tmp)
-        raise
-    return path
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue(), fsync=fsync)
 
 
 def save_model(model: Sequential, path: Union[str, os.PathLike]) -> str:

@@ -21,7 +21,11 @@ with four cooperating pieces:
 * :mod:`repro.reliability.validation` — input validation gates (shape,
   dtype, finiteness, axis monotonicity, value range) with the structured
   :class:`ValidationError` taxonomy, applied at the ``Sequential.predict``
-  boundary, MS toolchain ingestion and the preprocessing scalers.
+  boundary, MS toolchain ingestion and the preprocessing scalers;
+* :mod:`repro.reliability.storage_faults` — :class:`StorageFaultInjector`,
+  the disk-side counterpart of :class:`FaultInjector`: torn writes and
+  appends, bit flips, lost fsyncs/renames and vanishing files injected
+  into the :mod:`repro.storage` write path for chaos tests.
 """
 
 from repro.reliability.faults import (
@@ -38,6 +42,12 @@ from repro.reliability.retry import (
 )
 from repro.reliability.checkpoint import Checkpoint, CheckpointData, CheckpointManager
 from repro.reliability.degradation import DegradationEvent, GuardedAnalyzer
+from repro.reliability.storage_faults import (
+    StorageFaultEvent,
+    StorageFaultInjector,
+    bit_flip_file,
+    truncate_file,
+)
 from repro.reliability.validation import (
     DtypeError,
     MonotonicityError,
@@ -71,7 +81,11 @@ __all__ = [
     "RetryExhaustedError",
     "RetryPolicy",
     "ShapeError",
+    "StorageFaultEvent",
+    "StorageFaultInjector",
     "ValidationError",
+    "bit_flip_file",
+    "truncate_file",
     "acquire_with_retry",
     "ensure_array",
     "ensure_finite",

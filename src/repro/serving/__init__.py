@@ -25,6 +25,7 @@ from repro.serving.circuit import (
     CircuitBreaker,
     CircuitTransition,
 )
+from repro.serving.loading import analyzer_from_checkpoint, load_verified_model
 from repro.serving.service import (
     AnalysisService,
     Completed,
@@ -34,6 +35,8 @@ from repro.serving.service import (
 
 __all__ = [
     "AnalysisService",
+    "analyzer_from_checkpoint",
+    "load_verified_model",
     "CLOSED",
     "CircuitBreaker",
     "CircuitTransition",

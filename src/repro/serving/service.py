@@ -172,6 +172,33 @@ class AnalysisService:
         self.completed = 0
         self.rejections: Dict[str, int] = {}
 
+    @classmethod
+    def from_checkpoint(
+        cls,
+        manager,
+        name: str,
+        seed: int = 0,
+        expected_length: Optional[int] = None,
+        **kwargs,
+    ) -> "AnalysisService":
+        """Build a service over a verified checkpointed model.
+
+        The model comes off disk through the
+        :class:`~repro.reliability.checkpoint.CheckpointManager` verified
+        path — checksum check, generational fallback, quarantine — so a
+        bit-flipped artifact can never silently serve traffic.  The
+        admission gate's ``expected_length`` defaults to the model's own
+        input length.
+        """
+        from repro.serving.loading import analyzer_from_checkpoint
+
+        analyzer, model_length = analyzer_from_checkpoint(
+            manager, name, seed=seed
+        )
+        if expected_length is None:
+            expected_length = model_length
+        return cls(analyzer, expected_length=expected_length, **kwargs)
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "AnalysisService":

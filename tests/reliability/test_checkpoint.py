@@ -1,12 +1,16 @@
 """Unit tests for checkpoint save/load and the training callback."""
 
+import json
 import os
 
 import numpy as np
 import pytest
 
 from repro import nn
+from repro.nn.serialization import save_model
 from repro.reliability.checkpoint import Checkpoint, CheckpointManager
+from repro.reliability.storage_faults import bit_flip_file, truncate_file
+from repro.storage.integrity import CorruptArtifactError
 
 
 def _compiled_model(seed=0):
@@ -81,6 +85,145 @@ class TestCheckpointManager:
         assert manager.load_state("sweep") is None
 
 
+class TestGenerations:
+    def test_each_save_is_a_new_generation(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        model = _compiled_model()
+        manager.save("ck", model, state={"epoch": 1})
+        manager.save("ck", model, state={"epoch": 2})
+        assert manager.generations_of("ck") == [1, 2]
+        assert manager.load("ck").state["epoch"] == 2
+        assert manager.load("ck").generation == 2
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, generations=2)
+        model = _compiled_model()
+        for epoch in range(5):
+            manager.save("ck", model, state={"epoch": epoch})
+        assert manager.generations_of("ck") == [4, 5]
+        assert manager.load("ck").state["epoch"] == 4
+
+    def test_keep_overrides_manager_retention(self, tmp_path):
+        manager = CheckpointManager(tmp_path, generations=2)
+        model = _compiled_model()
+        for epoch in range(4):
+            manager.save("ck", model, state={"epoch": epoch}, keep=10)
+        assert manager.generations_of("ck") == [1, 2, 3, 4]
+
+    def test_generations_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, generations=0)
+
+    def test_delete_removes_all_generations(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        model = _compiled_model()
+        manager.save("ck", model)
+        manager.save("ck", model)
+        manager.delete("ck")
+        assert not manager.exists("ck")
+        assert manager.generations_of("ck") == []
+
+    def test_legacy_bare_npz_still_loads(self, tmp_path):
+        model = _compiled_model()
+        save_model(model, os.fspath(tmp_path / "old.npz"))
+        manager = CheckpointManager(tmp_path)
+        assert manager.exists("old")
+        assert "old" in manager.names()
+        data = manager.load("old")
+        assert data.generation is None
+        for a, b in zip(model.get_weights(), data.model.get_weights()):
+            assert np.array_equal(a, b)
+
+
+class TestVerifyOnLoad:
+    def test_bit_flip_falls_back_to_previous_generation(self, tmp_path):
+        events = []
+        manager = CheckpointManager(
+            tmp_path, on_event=lambda kind, detail: events.append((kind, detail))
+        )
+        model = _compiled_model()
+        manager.save("ck", model, state={"epoch": 1})
+        newest = manager.save("ck", model, state={"epoch": 2})
+        bit_flip_file(newest, seed=1)
+
+        data = manager.load("ck")
+        assert data.state["epoch"] == 1
+        assert data.fell_back is True
+        assert data.generation == 1
+        kinds = [kind for kind, _ in events]
+        assert kinds == ["quarantine", "fallback"]
+        # The corrupt file was moved aside, never deleted.
+        assert manager.quarantined() == [os.path.basename(newest)]
+        assert not os.path.exists(newest)
+
+    def test_truncation_falls_back(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        model = _compiled_model()
+        manager.save("ck", model, state={"epoch": 1})
+        newest = manager.save("ck", model, state={"epoch": 2})
+        truncate_file(newest, 40)
+        assert manager.load("ck").state["epoch"] == 1
+
+    def test_all_generations_corrupt_raises_typed_error(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        model = _compiled_model()
+        for epoch in range(2):
+            manager.save("ck", model, state={"epoch": epoch})
+        for generation in manager.generations_of("ck"):
+            bit_flip_file(
+                manager._generation_path("ck", generation), seed=generation
+            )
+        with pytest.raises(CorruptArtifactError, match="no verifiable"):
+            manager.load("ck")
+        assert len(manager.quarantined()) == 2
+
+    def test_missing_checkpoint_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CheckpointManager(tmp_path).load("nothing")
+
+    def test_quarantine_name_collisions_get_suffixes(self, tmp_path):
+        manager = CheckpointManager(tmp_path, generations=1)
+        model = _compiled_model()
+        for round_ in range(2):
+            path = manager.save("ck", model)
+            # Same generation number each round (retention pruned to 1,
+            # then the sole survivor quarantined below).
+            truncate_file(path, 10)
+            with pytest.raises(CorruptArtifactError):
+                manager.load("ck")
+        assert len(manager.quarantined()) == 2
+
+
+class TestCorruptStateSidecar:
+    @pytest.mark.parametrize(
+        "payload",
+        [b"", b'{"completed": {"mlp"', b"\x00\xffgarbage not json"],
+        ids=["empty", "truncated", "garbage"],
+    )
+    def test_corrupt_sidecar_quarantined_with_typed_error(
+        self, tmp_path, payload
+    ):
+        events = []
+        manager = CheckpointManager(
+            tmp_path, on_event=lambda kind, detail: events.append(kind)
+        )
+        (tmp_path / "sweep.json").write_bytes(payload)
+        with pytest.raises(CorruptArtifactError, match="sweep"):
+            manager.load_state("sweep")
+        assert events == ["quarantine"]
+        assert manager.quarantined() == ["sweep.json"]
+        # The quarantined bytes are preserved verbatim for post-mortem.
+        quarantined = tmp_path / "quarantine" / "sweep.json"
+        assert quarantined.read_bytes() == payload
+        # After quarantine the sidecar is simply absent.
+        assert manager.load_state("sweep") is None
+
+    def test_valid_sidecar_unaffected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        (tmp_path / "sweep.json").write_text(json.dumps({"ok": 1}))
+        assert manager.load_state("sweep") == {"ok": 1}
+
+
 class TestBitExactResume:
     def test_resume_reproduces_uninterrupted_run(self, tmp_path):
         """Restore weights + optimizer at epoch 3, finish to epoch 6, and
@@ -135,3 +278,24 @@ class TestCheckpointCallback:
                   callbacks=[Checkpoint(manager, "run")])
         state = manager.load("run").state
         assert "loss" in state["metrics"]
+
+    def test_keep_retention_prunes_via_manager_gc(self, tmp_path):
+        manager = CheckpointManager(tmp_path, generations=100)
+        model = _compiled_model()
+        x, y = _data()
+        model.fit(x, y, epochs=5, batch_size=16, seed=0,
+                  callbacks=[Checkpoint(manager, "run", keep=2)])
+        assert len(manager.generations_of("run")) == 2
+        assert manager.load("run").state["epoch"] == 5
+
+    def test_keep_defaults_to_manager_retention(self, tmp_path):
+        manager = CheckpointManager(tmp_path, generations=3)
+        model = _compiled_model()
+        x, y = _data()
+        model.fit(x, y, epochs=5, batch_size=16, seed=0,
+                  callbacks=[Checkpoint(manager, "run")])
+        assert len(manager.generations_of("run")) == 3
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpoint(CheckpointManager(tmp_path), "run", keep=0)

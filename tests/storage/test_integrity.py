@@ -1,0 +1,99 @@
+"""Unit tests for the checksummed envelope format and atomic writes."""
+
+import os
+
+import pytest
+
+from repro.storage.integrity import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    CorruptArtifactError,
+    SchemaVersionError,
+    atomic_write_bytes,
+    read_envelope,
+    unwrap,
+    verify_envelope,
+    wrap,
+    write_envelope,
+)
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        payload = b"spectra" * 100
+        assert unwrap(wrap(payload)) == payload
+
+    def test_empty_payload_round_trips(self):
+        assert unwrap(wrap(b"")) == b""
+
+    def test_header_layout(self):
+        blob = wrap(b"x")
+        assert blob[: len(MAGIC)] == MAGIC
+        assert len(blob) == HEADER_SIZE + 1
+
+    def test_bad_magic(self):
+        blob = b"NOTANENV" + wrap(b"x")[8:]
+        with pytest.raises(CorruptArtifactError, match="magic"):
+            unwrap(blob)
+
+    def test_short_blob_is_truncation(self):
+        with pytest.raises(CorruptArtifactError, match="truncated"):
+            unwrap(wrap(b"payload")[: HEADER_SIZE - 3])
+
+    def test_truncated_payload(self):
+        with pytest.raises(CorruptArtifactError, match="truncated"):
+            unwrap(wrap(b"payload")[:-2])
+
+    def test_flipped_payload_bit_fails_checksum(self):
+        blob = bytearray(wrap(b"payload"))
+        blob[-1] ^= 0x01
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            unwrap(bytes(blob))
+
+    def test_unsupported_version(self):
+        blob = wrap(b"payload", version=FORMAT_VERSION + 7)
+        with pytest.raises(SchemaVersionError, match="version"):
+            unwrap(blob)
+
+    def test_error_names_source(self):
+        with pytest.raises(CorruptArtifactError, match="here.bin"):
+            unwrap(b"", source="here.bin")
+
+
+class TestEnvelopeFiles:
+    def test_write_read_verify(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        write_envelope(target, b"abc123")
+        assert read_envelope(target) == b"abc123"
+        assert verify_envelope(target) == 6
+
+    def test_corrupt_file_detected(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        write_envelope(target, b"abc123")
+        with open(target, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            handle.write(b"\xff")
+        with pytest.raises(CorruptArtifactError):
+            read_envelope(target)
+
+
+class TestAtomicWrite:
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"one")
+        atomic_write_bytes(target, b"two")
+        assert target.read_bytes() == b"two"
+        # No temp debris after a clean write.
+        assert [p.name for p in tmp_path.iterdir()] == ["file.bin"]
+
+    def test_failure_leaves_previous_content(self, tmp_path):
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"good")
+
+        with pytest.raises(TypeError):
+            # A non-bytes payload dies inside write(); the cleanup path
+            # must remove the temp file and leave the target untouched.
+            atomic_write_bytes(target, object())
+        assert target.read_bytes() == b"good"
+        assert [p.name for p in tmp_path.iterdir()] == ["file.bin"]

@@ -1,0 +1,82 @@
+"""Unit tests for the write-ahead journal's commit/replay contract."""
+
+import math
+
+from repro.storage.journal import Journal
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        journal = Journal(tmp_path / "wal")
+        journal.append({"op": "insert", "doc": {"_id": 1, "a": 1}})
+        journal.append({"op": "delete", "ids": [1]})
+        records, stats = journal.replay()
+        assert [r["op"] for r in records] == ["insert", "delete"]
+        assert stats == {
+            "replayed": 2, "discarded_records": 0, "discarded_bytes": 0,
+        }
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        records, stats = Journal(tmp_path / "wal").replay()
+        assert records == []
+        assert stats["replayed"] == 0
+
+    def test_non_ascii_and_nonfinite_round_trip(self, tmp_path):
+        journal = Journal(tmp_path / "wal")
+        doc = {"Äpfel": "größe", "nan": float("nan"), "inf": float("inf")}
+        journal.append({"op": "insert", "doc": doc})
+        (record,), _ = journal.replay()
+        assert record["doc"]["Äpfel"] == "größe"
+        assert math.isnan(record["doc"]["nan"])
+        assert record["doc"]["inf"] == float("inf")
+
+    def test_reset_drops_everything(self, tmp_path):
+        journal = Journal(tmp_path / "wal")
+        journal.append({"op": "insert", "doc": {"_id": 1}})
+        journal.reset()
+        assert not journal.exists()
+        assert journal.replay()[0] == []
+        # The journal is usable again after a reset.
+        journal.append({"op": "insert", "doc": {"_id": 2}})
+        assert journal.replay()[1]["replayed"] == 1
+
+
+class TestTornTail:
+    def _journal_with_tail(self, tmp_path, tail: bytes) -> Journal:
+        journal = Journal(tmp_path / "wal")
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        journal.close()
+        with open(journal.path, "ab") as handle:
+            handle.write(tail)
+        return journal
+
+    def test_unterminated_tail_discarded(self, tmp_path):
+        journal = self._journal_with_tail(tmp_path, b"deadbeef {\"n\": 3")
+        records, stats = journal.replay()
+        assert [r["n"] for r in records] == [1, 2]
+        assert stats["discarded_records"] == 1
+        assert stats["discarded_bytes"] > 0
+
+    def test_checksum_mismatch_tail_discarded(self, tmp_path):
+        journal = self._journal_with_tail(
+            tmp_path, b"0000000000000000 {\"n\": 3}\n"
+        )
+        records, _ = journal.replay()
+        assert [r["n"] for r in records] == [1, 2]
+
+    def test_garbage_tail_discarded(self, tmp_path):
+        journal = self._journal_with_tail(tmp_path, b"\x00\xff\x80garbage\n")
+        records, _ = journal.replay()
+        assert [r["n"] for r in records] == [1, 2]
+
+    def test_corrupt_middle_distrusts_rest(self, tmp_path):
+        journal = Journal(tmp_path / "wal")
+        journal.append({"n": 1})
+        journal.close()
+        with open(journal.path, "ab") as handle:
+            handle.write(b"badline\n")
+        journal.append({"n": 3})
+        records, _ = journal.replay()
+        # Everything after the first unverifiable line is untrusted.
+        assert [r["n"] for r in records] == [1]
