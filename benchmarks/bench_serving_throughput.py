@@ -10,10 +10,22 @@ adds and how it behaves past saturation:
 (b) throughput scaling across worker counts;
 (c) overload: offered load beyond queue capacity must be *shed* with
     explicit ``queue_full`` rejections while goodput stays near the
-    saturated service rate (no collapse, no hang).
+    saturated service rate (no collapse, no hang);
+(d) telemetry cost: the same load against a fully *enabled* metrics
+    registry + tracer and against *disabled* ones.  The comparison runs
+    at the paper's real-time operating point (a network sized so one
+    analysis takes ~0.5 ms): the design target is that default-on
+    telemetry costs < 5% throughput there.  The absolute per-request
+    telemetry cost in microseconds is derived and reported too, so the
+    stress-case cost on a much faster analyzer can be projected.
+
+Latency percentiles (p50/p95/p99) come straight from the service's own
+``serving_request_latency_seconds`` histogram via ``stats()``, not from a
+side measurement — the bench exercises the observability layer it reports.
 
 Asserted shape: the service completes requests under modest load, sheds
-explicitly at overload, and every burst request resolves.
+explicitly at overload, every burst request resolves, and the histogram
+percentiles are ordered and positive.
 """
 
 import time
@@ -22,6 +34,7 @@ import numpy as np
 import pytest
 
 from repro import nn
+from repro.observability import Histogram, MetricsRegistry, Tracer
 from repro.serving import AnalysisService
 
 from conftest import print_table, scale, write_results
@@ -51,11 +64,18 @@ def throughput():
 
     rows = []
 
-    # (a) the bare analyzer, single-threaded — the baseline rate.
+    # (a) the bare analyzer, single-threaded — the baseline rate.  Each
+    # call is timed into a standalone histogram so the direct row reports
+    # the same percentile columns as the instrumented service rows.
+    direct_hist = MetricsRegistry().histogram(
+        "direct_latency_seconds", "bare analyzer call time"
+    )
     start = time.perf_counter()
     for row in spectra:
-        analyzer(row)
+        with direct_hist.time():
+            analyzer(row)
     direct_s = time.perf_counter() - start
+    direct_ps = direct_hist.percentiles()
     rows.append(
         {
             "mode": "direct",
@@ -64,17 +84,24 @@ def throughput():
             "completed": n_requests,
             "shed": 0,
             "throughput_rps": n_requests / direct_s,
+            "p50_ms": 1000 * direct_ps["p50"],
+            "p95_ms": 1000 * direct_ps["p95"],
+            "p99_ms": 1000 * direct_ps["p99"],
         }
     )
 
-    # (b) through the service at 1 and 2 workers, ample queue.
-    for workers in (1, 2):
+    def run_service(workers, mode, name, registry=None, tracer=None,
+                    backend=None):
+        """Steady-load run; percentiles come from the service histogram."""
         service = AnalysisService(
-            analyzer,
+            backend if backend is not None else analyzer,
             workers=workers,
             queue_size=64,
             default_deadline_s=30.0,
             expected_length=LENGTH,
+            name=name,
+            registry=registry,
+            tracer=tracer,
         )
         with service:
             start = time.perf_counter()
@@ -87,17 +114,78 @@ def throughput():
                     pending[-64].result(timeout=30.0)
             results = [p.result(timeout=30.0) for p in pending]
             elapsed = time.perf_counter() - start
+            stats = service.stats()
         completed = sum(1 for r in results if r.ok)
-        rows.append(
-            {
-                "mode": "service",
-                "workers": workers,
-                "requests": n_requests,
-                "completed": completed,
-                "shed": sum(1 for r in results if not r.ok),
-                "throughput_rps": completed / elapsed,
-            }
+        latency = stats["latency_s"].get("completed", {})
+        return {
+            "mode": mode,
+            "workers": workers,
+            "requests": n_requests,
+            "completed": completed,
+            "shed": sum(1 for r in results if not r.ok),
+            "throughput_rps": completed / elapsed,
+            "p50_ms": 1000 * latency["p50"] if latency else None,
+            "p95_ms": 1000 * latency["p95"] if latency else None,
+            "p99_ms": 1000 * latency["p99"] if latency else None,
+        }
+
+    # (b) through the service at 1 and 2 workers, ample queue.
+    for workers in (1, 2):
+        rows.append(run_service(workers, "service", f"svc{workers}"))
+
+    # (d) telemetry fully on vs fully off at the real-time operating
+    # point (isolated registry/tracer instances, so neither run touches
+    # the process-global ones).  The wide network stands in for a
+    # production-scale analyzer: one analysis ~0.5 ms, per the paper's
+    # "within milliseconds" claim.
+    wide = nn.Sequential(
+        [nn.Dense(1024, activation="relu"),
+         nn.Dense(1024, activation="relu"),
+         nn.Dense(OUTPUTS, activation="softmax")]
+    )
+    wide.build((LENGTH,), seed=0)
+    wide.compile(nn.Adam(0.01), "mae")
+
+    def realistic_analyzer(data):
+        return wide.predict(data[None, :], validate=False)[0]
+
+    for _ in range(10):  # warm the BLAS path before timing
+        realistic_analyzer(spectra[0])
+
+    def run_paced(mode, enabled):
+        """Submit-and-wait load: every request admitted, none shed, so the
+        on/off throughput delta is exactly the per-request telemetry cost."""
+        service = AnalysisService(
+            realistic_analyzer,
+            workers=1,
+            queue_size=8,
+            default_deadline_s=30.0,
+            expected_length=LENGTH,
+            name=mode,
+            registry=MetricsRegistry(enabled=enabled),
+            tracer=Tracer(enabled=enabled),
         )
+        with service:
+            start = time.perf_counter()
+            results = [service.analyze(row) for row in spectra]
+            elapsed = time.perf_counter() - start
+            stats = service.stats()
+        completed = sum(1 for r in results if r.ok)
+        latency = stats["latency_s"].get("completed", {})
+        return {
+            "mode": mode,
+            "workers": 1,
+            "requests": n_requests,
+            "completed": completed,
+            "shed": n_requests - completed,
+            "throughput_rps": completed / elapsed,
+            "p50_ms": 1000 * latency["p50"] if latency else None,
+            "p95_ms": 1000 * latency["p95"] if latency else None,
+            "p99_ms": 1000 * latency["p99"] if latency else None,
+        }
+
+    for mode, enabled in (("telem_on", True), ("telem_off", False)):
+        rows.append(run_paced(mode, enabled))
 
     # (c) overload burst: everything at once into a tiny queue.
     burst_n = scale(100, 1000)
@@ -133,18 +221,46 @@ def test_serving_throughput(throughput):
     print_table(
         "serving throughput (requests/s)",
         rows,
-        ["mode", "workers", "requests", "completed", "shed", "throughput_rps"],
+        ["mode", "workers", "requests", "completed", "shed",
+         "throughput_rps", "p50_ms", "p95_ms", "p99_ms"],
     )
-    write_results("serving_throughput", {"rows": rows})
 
     by_mode = {}
     for row in rows:
         by_mode.setdefault(row["mode"], []).append(row)
 
-    # Modest load through the service completes everything.
+    on = by_mode["telem_on"][0]
+    off = by_mode["telem_off"][0]
+    overhead = 1.0 - on["throughput_rps"] / off["throughput_rps"]
+    per_request_us = 1e6 * (
+        1.0 / on["throughput_rps"] - 1.0 / off["throughput_rps"]
+    )
+    print(f"telemetry-on throughput overhead vs disabled: {100 * overhead:+.2f}%"
+          " (design target < 5% at the ~0.5 ms operating point)")
+    print(f"per-request telemetry cost: {per_request_us:+.1f} us "
+          "(4 spans + ~8 metric updates)")
+    write_results(
+        "serving_throughput",
+        {
+            "rows": rows,
+            "telemetry_overhead_fraction": overhead,
+            "telemetry_cost_us_per_request": per_request_us,
+        },
+    )
+
+    # Modest load through the service completes everything, and the
+    # histogram percentiles are positive and ordered.
     for row in by_mode["service"]:
         assert row["completed"] == row["requests"]
         assert row["throughput_rps"] > 0
+        assert 0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+
+    # Telemetry on/off both complete everything; the enabled run must not
+    # collapse (generous bound — the design target is < 5%, but short CI
+    # runs are timing-noisy).
+    for row in (on, off):
+        assert row["completed"] == row["requests"]
+    assert on["throughput_rps"] > 0.5 * off["throughput_rps"]
 
     # Overload is shed explicitly, and every request resolved.
     burst = by_mode["burst"][0]

@@ -17,15 +17,27 @@ and walks through each defence:
 4. a crashing backend opens the circuit breaker; once it heals, a probe
    request closes the circuit and service resumes.
 
-Run:  python examples/hardened_serving.py
+Every request is traced and counted by the observability layer; pass
+``--telemetry-dir DIR`` to export the collected spans and metric series as
+JSONL (render them with ``python -m repro.cli telemetry --spans ...``).
+
+Run:  python examples/hardened_serving.py [--telemetry-dir DIR]
 """
 
+import argparse
+import os
 import threading
 import time
 
 import numpy as np
 
 from repro import nn
+from repro.observability import (
+    export_metrics_jsonl,
+    export_spans_jsonl,
+    get_registry,
+    get_tracer,
+)
 from repro.serving import AnalysisService, CircuitBreaker
 
 LENGTH = 64
@@ -62,7 +74,14 @@ class Backend:
         return self.model.predict(data[None, :], validate=False)[0]
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--telemetry-dir",
+        help="export collected spans/metrics as JSONL into this directory",
+    )
+    args = parser.parse_args(argv)
+
     rng = np.random.default_rng(0)
     print("training the analyzer network ...")
     backend = Backend(make_network(rng))
@@ -124,6 +143,17 @@ def main():
         stats = service.stats()
     print(f"\nstats: {stats['completed']} completed, "
           f"rejections by reason {stats['rejections']}")
+    p95 = stats["latency_s"].get("completed", {}).get("p95")
+    if p95 is not None:
+        print(f"completed-request latency p95: {1000 * p95:.2f} ms")
+
+    if args.telemetry_dir:
+        os.makedirs(args.telemetry_dir, exist_ok=True)
+        spans_path = os.path.join(args.telemetry_dir, "spans.jsonl")
+        metrics_path = os.path.join(args.telemetry_dir, "metrics.jsonl")
+        export_spans_jsonl(get_tracer(), spans_path)
+        export_metrics_jsonl(get_registry(), metrics_path)
+        print(f"telemetry exported to {spans_path} and {metrics_path}")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,14 @@ Subpackages:
   substitute);
 * :mod:`repro.embedded` — Jetson platform cost model (Table 2);
 * :mod:`repro.reliability` — fault injection, retrying acquisition,
-  checkpoint/resume training and graceful closed-loop degradation.
+  checkpoint/resume training and graceful closed-loop degradation;
+* :mod:`repro.storage` — checksummed envelopes, atomic writes and the
+  append-only journal behind every durable artifact;
+* :mod:`repro.serving` — hardened concurrent analysis service with
+  circuit breaker, admission gates and deadlines;
+* :mod:`repro.observability` — default-on metrics registry, tracing
+  spans and telemetry export wired through training, serving and
+  storage.
 """
 
 __version__ = "1.0.0"

@@ -7,7 +7,9 @@ source code; this module is that surface:
 * ``train``        — Tool 4: train a topology on a dataset file;
 * ``evaluate``     — Tool 4 backend: score a trained model on a dataset;
 * ``table2``       — predict embedded execution costs for a trained model;
-* ``nmr-campaign`` — run the virtual NMR DoE campaign and save its spectra.
+* ``nmr-campaign`` — run the virtual NMR DoE campaign and save its spectra;
+* ``telemetry``    — render exported span/metric JSONL files (or a live
+  instrumented demo workload) as a human-readable report.
 
 Datasets are ``.npz`` files with arrays ``x``, ``y`` and a JSON-encoded
 ``meta`` record.  Run ``python -m repro.cli <command> --help`` for options.
@@ -163,6 +165,48 @@ def _cmd_nmr_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        format_metric_dicts,
+        format_span_dicts,
+        read_jsonl,
+        text_dump,
+    )
+
+    shown = False
+    if args.metrics:
+        print(format_metric_dicts(read_jsonl(args.metrics)))
+        shown = True
+    if args.spans:
+        if shown:
+            print()
+        print(format_span_dicts(read_jsonl(args.spans)))
+        shown = True
+    if shown:
+        return 0
+
+    if args.demo:
+        import numpy as np
+
+        from repro.serving import AnalysisService
+
+        rng = np.random.default_rng(0)
+        service = AnalysisService(
+            lambda data: np.array([float(np.mean(data))]),
+            workers=2,
+            queue_size=8,
+            expected_length=32,
+        )
+        with service:
+            for _ in range(16):
+                service.analyze(rng.random(32))
+            service.analyze(rng.random(7))  # refused: wrong length
+    # With neither files nor --demo this dumps whatever the process has
+    # collected so far (typically empty — telemetry is per-process).
+    print(text_dump())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -209,6 +253,21 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--out", required=True)
     campaign.set_defaults(func=_cmd_nmr_campaign)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="dump collected telemetry as a readable report"
+    )
+    telemetry.add_argument(
+        "--spans", help="span JSONL file written by export_spans_jsonl"
+    )
+    telemetry.add_argument(
+        "--metrics", help="metrics JSONL file written by export_metrics_jsonl"
+    )
+    telemetry.add_argument(
+        "--demo", action="store_true",
+        help="run a small instrumented serving workload, then dump it",
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     return parser
 

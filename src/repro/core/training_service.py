@@ -32,6 +32,8 @@ from repro.nn.metrics import mean_absolute_error, mean_squared_error, r2_score
 from repro.nn.model import Sequential
 from repro.nn.sentinel import DivergenceSentinel
 from repro.nn.training import EarlyStopping
+from repro.observability.runtime import counter as _counter
+from repro.observability.runtime import get_tracer
 from repro.reliability.checkpoint import Checkpoint, CheckpointManager
 from repro.storage.integrity import CorruptArtifactError
 
@@ -169,40 +171,58 @@ class TrainingService:
                 sweep_state = stored
         completed: Dict[str, dict] = dict(sweep_state.get("completed", {}))
 
-        for topology in topologies:
-            checkpoint_name = f"{sweep_name}-{topology.name}"
-            if resume and topology.name in completed:
-                try:
-                    run = self._reload_completed(
-                        topology, checkpoint_name, completed[topology.name],
-                        dataset_artifact, progress,
+        topologies_counter = _counter(
+            "training_topologies_total", "topology runs by disposition"
+        )
+        with get_tracer().start_span(
+            "train.sweep",
+            attributes={"sweep": sweep_name, "topologies": len(topologies)},
+        ) as sweep_span:
+            for topology in topologies:
+                checkpoint_name = f"{sweep_name}-{topology.name}"
+                if resume and topology.name in completed:
+                    try:
+                        run = self._reload_completed(
+                            topology, checkpoint_name, completed[topology.name],
+                            dataset_artifact, progress,
+                        )
+                    except CorruptArtifactError:
+                        # Every generation of the finished topology failed
+                        # verification (all quarantined): retrain it.
+                        completed.pop(topology.name, None)
+                    else:
+                        topologies_counter.inc(disposition="reloaded")
+                        self.runs.append(run)
+                        continue
+                with get_tracer().start_span(
+                    "train.topology",
+                    parent=sweep_span,
+                    attributes={"topology": topology.name},
+                ) as topology_span:
+                    run = self._train_one(
+                        topology,
+                        checkpoint_name,
+                        train,
+                        validation,
+                        evaluation_data,
+                        dataset_artifact,
+                        progress,
+                        resume=resume,
+                        checkpoint_every=checkpoint_every,
                     )
-                except CorruptArtifactError:
-                    # Every generation of the finished topology failed
-                    # verification (all quarantined): retrain it.
-                    completed.pop(topology.name, None)
-                else:
-                    self.runs.append(run)
-                    continue
-            run = self._train_one(
-                topology,
-                checkpoint_name,
-                train,
-                validation,
-                evaluation_data,
-                dataset_artifact,
-                progress,
-                resume=resume,
-                checkpoint_every=checkpoint_every,
-            )
-            self.runs.append(run)
-            if self.checkpoints is not None:
-                completed[topology.name] = {
-                    "metrics": run.metrics,
-                    "epochs_run": run.epochs_run,
-                }
-                sweep_state["completed"] = completed
-                self.checkpoints.save_state(sweep_name, sweep_state)
+                    topology_span.set_attribute("epochs_run", run.epochs_run)
+                    topology_span.set_attribute("rollbacks", run.rollbacks)
+                topologies_counter.inc(
+                    disposition="resumed" if run.resumed else "trained"
+                )
+                self.runs.append(run)
+                if self.checkpoints is not None:
+                    completed[topology.name] = {
+                        "metrics": run.metrics,
+                        "epochs_run": run.epochs_run,
+                    }
+                    sweep_state["completed"] = completed
+                    self.checkpoints.save_state(sweep_name, sweep_state)
         return self.runs
 
     # -- one topology ------------------------------------------------------

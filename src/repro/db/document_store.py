@@ -23,6 +23,8 @@ import json
 import os
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
 
+from repro.observability.runtime import counter as _counter
+from repro.observability.runtime import histogram as _histogram
 from repro.storage.integrity import atomic_write_bytes, is_envelope, unwrap, wrap
 from repro.storage.journal import Journal
 
@@ -301,7 +303,14 @@ class DocumentStore:
         data = json.dumps(payload, ensure_ascii=False, default=float).encode(
             "utf-8"
         )
-        atomic_write_bytes(target, wrap(data), fsync=self.fsync)
+        with _histogram(
+            "store_snapshot_save_seconds",
+            "document-store snapshot publish time (write + fsync + rename)",
+        ).time():
+            atomic_write_bytes(target, wrap(data), fsync=self.fsync)
+        _counter(
+            "store_snapshot_saves_total", "snapshots published atomically"
+        ).inc()
         if self.path != target or self._journal is None:
             self.path = target
             self._journal = Journal(self._journal_path(target), fsync=self.fsync)
@@ -337,6 +346,15 @@ class DocumentStore:
             finally:
                 self._replaying = False
         self.last_recovery = stats
+        _counter(
+            "store_replayed_records_total",
+            "committed WAL records re-applied on load",
+        ).inc(stats["replayed"])
+        if stats["discarded_records"]:
+            _counter(
+                "store_discarded_records_total",
+                "torn WAL tails discarded on load",
+            ).inc(stats["discarded_records"])
 
     def recover(self) -> Dict[str, int]:
         """Reload from disk; returns replay stats.

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.nn.training import Callback
+from repro.observability.runtime import counter as _global_counter
 
 __all__ = ["DivergenceError", "SentinelEvent", "DivergenceSentinel"]
 
@@ -226,6 +227,9 @@ class DivergenceSentinel(Callback):
             )
         self.rollbacks += 1
         self._consecutive_rollbacks += 1
+        _global_counter(
+            "training_rollbacks_total", "divergence-sentinel rollbacks"
+        ).inc()
         self._restore_last_good()
         new_lr = self._dampen_learning_rate()
         self.events.append(

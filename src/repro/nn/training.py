@@ -4,22 +4,60 @@ The paper's Tool 4 runs unattended multi-topology training jobs; the
 callback hooks here (epoch begin/end, early stopping, best-weights
 restoration) are what the automated training service in
 :mod:`repro.core.training_service` builds on.
+
+Progress reporting goes through the stdlib ``repro.training`` logger
+(pluggable: swap its handlers to redirect or silence it; a default
+stdout handler keeps the historical ``epoch N: ...`` format), and the
+loop emits telemetry through the process-global
+:mod:`repro.observability` runtime — a ``train.epoch`` span per epoch
+with per-batch child spans, train/val loss gauges, and epoch/batch
+counters.
 """
 
 from __future__ import annotations
 
+import logging
+import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.observability.runtime import get_registry, get_tracer
 
 __all__ = [
     "History",
     "Callback",
     "EarlyStopping",
     "TrainingLogger",
+    "logger",
     "run_training_loop",
 ]
+
+
+class _StdoutHandler(logging.Handler):
+    """Writes to whatever ``sys.stdout`` is *at emit time*.
+
+    A plain ``StreamHandler(sys.stdout)`` captures the stream object once,
+    which breaks under test harnesses that swap ``sys.stdout``; resolving
+    it per record keeps ``epoch N: ...`` lines visible wherever ``print``
+    would have put them.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stdout.write(self.format(record) + "\n")
+        except Exception:
+            self.handleError(record)
+
+
+logger = logging.getLogger("repro.training")
+if not logger.handlers:  # default handler: plain message, print-compatible
+    _handler = _StdoutHandler()
+    _handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(_handler)
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
 
 
 class History:
@@ -137,7 +175,12 @@ class EarlyStopping(Callback):
 
 
 class TrainingLogger(Callback):
-    """Print one line per epoch (opt-in; fit(verbose=True) adds one too)."""
+    """Log one line per epoch (opt-in; fit(verbose=True) adds one too).
+
+    Lines go through the ``repro.training`` logger at INFO — the default
+    handler prints exactly the historical format to stdout; reconfigure
+    the logger's handlers to redirect or silence them.
+    """
 
     def __init__(self, every: int = 1):
         if every < 1:
@@ -147,7 +190,7 @@ class TrainingLogger(Callback):
     def on_epoch_end(self, epoch, metrics):
         if epoch % self.every == 0:
             parts = ", ".join(f"{k}={v:.6f}" for k, v in metrics.items())
-            print(f"epoch {epoch:4d}: {parts}")
+            logger.info("epoch %4d: %s", epoch, parts)
 
 
 def run_training_loop(
@@ -191,6 +234,25 @@ def run_training_loop(
         callback.set_model(model)
         callback.on_train_begin()
 
+    registry = get_registry()
+    tracer = get_tracer()
+    epochs_counter = registry.counter(
+        "training_epochs_total", "completed training epochs"
+    )
+    batches_counter = registry.counter(
+        "training_batches_total", "optimizer steps taken"
+    )
+    aborts_counter = registry.counter(
+        "training_epoch_aborts_total",
+        "epochs discarded and re-run after a callback rollback",
+    )
+    loss_gauge = registry.gauge(
+        "training_loss", "most recent epoch loss by split"
+    )
+    epoch_seconds = registry.histogram(
+        "training_epoch_seconds", "wall-clock seconds per epoch"
+    )
+
     n = x.shape[0]
     if shuffle:
         for _ in range(initial_epoch):
@@ -201,13 +263,22 @@ def run_training_loop(
         for callback in callbacks:
             callback.on_epoch_begin(epoch)
         start = time.perf_counter()
+        epoch_span = tracer.start_span(
+            "train.epoch", attributes={"epoch": epoch}
+        )
         order = rng.permutation(n) if shuffle else np.arange(n)
         epoch_loss = 0.0
         aborted = False
         for batch_index, i in enumerate(range(0, n, batch_size)):
             batch = order[i : i + batch_size]
-            batch_loss = model.train_on_batch(x[batch], y[batch])
+            with tracer.start_span(
+                "train.batch", parent=epoch_span,
+                attributes={"batch": batch_index},
+            ) as batch_span:
+                batch_loss = model.train_on_batch(x[batch], y[batch])
+                batch_span.set_attribute("loss", float(batch_loss))
             epoch_loss += batch_loss * len(batch)
+            batches_counter.inc()
             for callback in callbacks:
                 callback.on_batch_end(epoch, batch_index, batch_loss)
             if any(callback.abort_epoch for callback in callbacks):
@@ -219,17 +290,26 @@ def run_training_loop(
             # The re-run draws a fresh shuffle permutation.
             for callback in callbacks:
                 callback._abort_epoch = False
+            aborts_counter.inc()
+            epoch_span.set_attribute("aborted", True)
+            epoch_span.end(status="error: rollback")
             epoch -= 1
             continue
         metrics = {"loss": epoch_loss / n}
+        loss_gauge.set(metrics["loss"], split="train")
         if validation_data is not None:
             vx, vy = validation_data
             metrics["val_loss"] = model.evaluate(vx, vy)
+            loss_gauge.set(metrics["val_loss"], split="val")
         metrics["epoch_seconds"] = time.perf_counter() - start
+        epoch_seconds.observe(metrics["epoch_seconds"])
+        epochs_counter.inc()
+        epoch_span.set_attribute("loss", metrics["loss"])
+        epoch_span.end()
         history.record(epoch, metrics)
         if verbose:
             parts = ", ".join(f"{k}={v:.6f}" for k, v in metrics.items())
-            print(f"epoch {epoch:4d}/{epochs}: {parts}")
+            logger.info("epoch %4d/%d: %s", epoch, epochs, parts)
         stop = False
         for callback in callbacks:
             callback.on_epoch_end(epoch, metrics)

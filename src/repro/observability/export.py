@@ -1,0 +1,234 @@
+"""Telemetry export: JSONL files, human-readable dumps, provenance bridge.
+
+Three audiences, three formats:
+
+* **machines** — :func:`export_spans_jsonl` / :func:`export_metrics_jsonl`
+  write one JSON object per line (``grep``-able during an incident, easy
+  to load into anything downstream); :func:`read_jsonl` is the matching
+  loader and the round-trip is covered by tests;
+* **humans** — :func:`text_dump` renders the live registry and tracer
+  (or previously exported line dicts, via :func:`format_metric_dicts` /
+  :func:`format_span_dicts`) as an aligned report, which is what
+  ``python -m repro.cli telemetry`` prints;
+* **provenance** — :func:`snapshot_to_provenance` persists a metrics
+  snapshot as a :class:`~repro.db.provenance.ProvenanceTracker` artifact,
+  so the paper's "trace the basis on which the data was generated"
+  requirement extends to *how the system behaved* while generating it.
+
+Layering: stdlib-only at import time; the provenance bridge imports
+:mod:`repro.db` lazily inside the function so ``observability`` stays a
+leaf package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Span, Tracer
+
+__all__ = [
+    "export_spans_jsonl",
+    "export_metrics_jsonl",
+    "read_jsonl",
+    "format_span_dicts",
+    "format_metric_dicts",
+    "text_dump",
+    "snapshot_to_provenance",
+]
+
+
+def _write_jsonl(path: Union[str, os.PathLike], lines: Iterable[dict]) -> int:
+    path = os.fspath(path)
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, ensure_ascii=False, default=float))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def export_spans_jsonl(
+    source: Union[Tracer, Sequence[Span]],
+    path: Union[str, os.PathLike],
+) -> int:
+    """Write finished spans, one JSON object per line; returns the count."""
+    spans = source.finished_spans() if isinstance(source, Tracer) else source
+    return _write_jsonl(
+        path, ({"kind": "span", **span.to_dict()} for span in spans)
+    )
+
+
+def export_metrics_jsonl(
+    source: Union[MetricsRegistry, dict],
+    path: Union[str, os.PathLike],
+) -> int:
+    """Write one line per metric *series*; returns the line count.
+
+    ``source`` is a registry or an already-taken ``registry.snapshot()``.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines = []
+    for metric in snapshot.get("metrics", []):
+        for series in metric["series"]:
+            lines.append(
+                {
+                    "kind": "metric",
+                    "name": metric["name"],
+                    "type": metric["type"],
+                    "help": metric["help"],
+                    **series,
+                }
+            )
+    return _write_jsonl(path, lines)
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> List[dict]:
+    """Parse every line back into a dict (the export round-trip)."""
+    records = []
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- human-readable rendering ------------------------------------------------
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def format_metric_dicts(lines: Sequence[dict]) -> str:
+    """Render exported metric line dicts as an aligned text block."""
+    rows = ["== metrics =="]
+    for line in lines:
+        name = line.get("name", "?") + _format_labels(line.get("labels", {}))
+        kind = line.get("type", "?")
+        if kind == "histogram":
+            rows.append(
+                f"  {name:48s} count={line.get('count', 0)} "
+                f"sum={_format_value(line.get('sum'))} "
+                f"p50={_format_value(line.get('p50'))} "
+                f"p95={_format_value(line.get('p95'))} "
+                f"p99={_format_value(line.get('p99'))} "
+                f"max={_format_value(line.get('max'))}"
+            )
+        else:
+            rows.append(
+                f"  {name:48s} {kind} = {_format_value(line.get('value'))}"
+            )
+    if len(rows) == 1:
+        rows.append("  (no metrics recorded)")
+    return "\n".join(rows)
+
+
+def format_span_dicts(lines: Sequence[dict]) -> str:
+    """Render exported span line dicts as indented per-trace trees."""
+    rows = ["== spans =="]
+    by_trace: dict = {}
+    for line in lines:
+        by_trace.setdefault(line.get("trace_id", "?"), []).append(line)
+    for trace_id, spans in by_trace.items():
+        rows.append(f"  trace {trace_id}")
+        by_id = {s.get("span_id"): s for s in spans}
+        depths = {}
+
+        def depth_of(span: dict) -> int:
+            span_id = span.get("span_id")
+            if span_id in depths:
+                return depths[span_id]
+            parent = by_id.get(span.get("parent_id"))
+            depths[span_id] = 0 if parent is None else depth_of(parent) + 1
+            return depths[span_id]
+
+        for span in sorted(
+            spans, key=lambda s: (s.get("start_time") or 0.0, s.get("span_id") or "")
+        ):
+            indent = "  " * (depth_of(span) + 2)
+            duration = span.get("duration_s")
+            timing = (
+                f"{1000.0 * duration:.3f} ms" if duration is not None else "open"
+            )
+            attributes = span.get("attributes") or {}
+            attribute_text = (
+                " " + _format_labels(attributes) if attributes else ""
+            )
+            rows.append(
+                f"{indent}{span.get('name', '?'):24s} {timing:>12s} "
+                f"[{span.get('status', '?')}]"
+                f"{attribute_text}"
+            )
+    if len(rows) == 1:
+        rows.append("  (no spans collected)")
+    return "\n".join(rows)
+
+
+def text_dump(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> str:
+    """One report of everything collected so far (defaults: the globals)."""
+    from repro.observability import runtime
+
+    registry = registry if registry is not None else runtime.get_registry()
+    tracer = tracer if tracer is not None else runtime.get_tracer()
+    metric_lines = []
+    for metric in registry.snapshot()["metrics"]:
+        for series in metric["series"]:
+            metric_lines.append(
+                {"name": metric["name"], "type": metric["type"], **series}
+            )
+    span_lines = [span.to_dict() for span in tracer.finished_spans()]
+    return (
+        format_metric_dicts(metric_lines)
+        + "\n\n"
+        + format_span_dicts(span_lines)
+    )
+
+
+# -- provenance bridge --------------------------------------------------------
+
+
+def snapshot_to_provenance(
+    registry: Optional[MetricsRegistry] = None,
+    tracker=None,
+    store=None,
+    kind: str = "metrics_snapshot",
+    metadata: Optional[dict] = None,
+    parents: Sequence[int] = (),
+) -> int:
+    """Persist a metrics snapshot as a provenance artifact; returns its id.
+
+    Pass a :class:`~repro.db.provenance.ProvenanceTracker` (``tracker``)
+    or a :class:`~repro.db.document_store.DocumentStore` (``store``, a
+    tracker is wrapped around it).  The artifact's metadata carries the
+    full ``registry.snapshot()`` under ``"snapshot"`` plus any extra
+    ``metadata`` keys, so a trained network's lineage can link to the
+    telemetry of the run that produced it.
+    """
+    from repro.db.provenance import ProvenanceTracker  # lazy: keep leaf-ness
+    from repro.observability import runtime
+
+    registry = registry if registry is not None else runtime.get_registry()
+    if tracker is None:
+        tracker = ProvenanceTracker(store)
+    payload = dict(metadata or {})
+    payload["snapshot"] = registry.snapshot()
+    return tracker.record(kind, payload, parents=parents)

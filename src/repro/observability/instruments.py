@@ -1,0 +1,51 @@
+"""Small instrumentation helpers shared by the wired-up subsystems.
+
+These are the three idioms the instrumented modules kept repeating —
+time a block into a histogram, track an in-flight level in a gauge,
+time a whole function — packaged once so call sites stay one line.
+Layering: stdlib-only, like the rest of :mod:`repro.observability`.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+
+from repro.observability.metrics import Gauge, Histogram
+
+__all__ = ["time_block", "track_inflight", "timed"]
+
+
+@contextmanager
+def time_block(histogram: Histogram, **labels):
+    """Observe the elapsed registry-clock seconds of the ``with`` body."""
+    clock = histogram._registry.clock
+    start = clock()
+    try:
+        yield
+    finally:
+        histogram.observe(clock() - start, **labels)
+
+
+@contextmanager
+def track_inflight(gauge: Gauge, **labels):
+    """Increment ``gauge`` on entry and decrement on exit (even on error)."""
+    gauge.inc(**labels)
+    try:
+        yield
+    finally:
+        gauge.dec(**labels)
+
+
+def timed(histogram: Histogram, **labels):
+    """Decorator form of :func:`time_block`."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with time_block(histogram, **labels):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

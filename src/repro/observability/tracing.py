@@ -1,0 +1,272 @@
+"""Nested tracing spans with an in-memory collector.
+
+Where :mod:`repro.observability.metrics` aggregates, spans *narrate*: one
+:class:`Span` covers one unit of work (an epoch, a queued request, a
+checkpoint save) with a start/end time, a status, free-form attributes,
+and parent/trace ids that link spans into a causal chain.  The serving
+layer uses exactly that chain to show where a request's budget went —
+``submit → queue → analyze → resolve`` share one ``trace_id`` and each
+span's ``parent_id`` is the previous link.
+
+Spans are context managers (an escaping exception marks the span
+``error: <type>``) but can also be ended manually with :meth:`Span.end`,
+which is what cross-thread work needs: the serving queue span starts on
+the submitting thread and ends on the worker that dequeues it.
+
+The :class:`Tracer` collects finished spans into a bounded deque (oldest
+evicted first) so a long-running default-on process cannot grow without
+limit.  Ids are drawn from a deterministic per-tracer counter and the
+clock is injectable — tests assert on exact ids and durations.  A
+disabled tracer hands out a single shared no-op span, keeping the
+default-on cost of an instrumented hot path to one branch.
+Layering: this module imports only the standard library.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["STATUS_OK", "STATUS_UNSET", "Span", "Tracer"]
+
+STATUS_UNSET = "unset"
+STATUS_OK = "ok"
+
+
+class Span:
+    """One timed, attributed unit of work inside a trace."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_time",
+        "end_time",
+        "status",
+        "attributes",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start_time: float,
+        tracer: Optional["Tracer"],
+        attributes: Optional[Dict[str, object]] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.status = STATUS_UNSET
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self._tracer = tracer
+
+    # -- recording ---------------------------------------------------------
+
+    def set_attribute(self, key: str, value) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def set_status(self, status: str) -> "Span":
+        self.status = status
+        return self
+
+    def end(self, status: Optional[str] = None) -> "Span":
+        """Close the span (idempotent) and hand it to the collector."""
+        if self.end_time is not None:
+            return self
+        if status is not None:
+            self.status = status
+        elif self.status == STATUS_UNSET:
+            self.status = STATUS_OK
+        tracer = self._tracer
+        self.end_time = tracer.clock() if tracer is not None else self.start_time
+        if tracer is not None:
+            tracer._collect(self)
+        return self
+
+    @property
+    def ended(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self.status == STATUS_UNSET:
+            self.status = f"error: {exc_type.__name__}"
+        self.end()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "duration_s": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name!r} trace={self.trace_id} id={self.span_id} "
+            f"parent={self.parent_id} status={self.status!r}>"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    start_time = 0.0
+    end_time = 0.0
+    status = STATUS_UNSET
+    attributes: Dict[str, object] = {}
+    ended = True
+    duration = 0.0
+
+    def set_attribute(self, key, value):
+        return self
+
+    def set_status(self, status):
+        return self
+
+    def end(self, status=None):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hands out spans and collects the finished ones in memory.
+
+    ``max_spans`` bounds the collector (oldest finished spans are evicted
+    first); ``enabled=False`` makes :meth:`start_span` return a shared
+    no-op span.  Ids are deterministic: the n-th span of a tracer is
+    ``s%012x`` of n, the n-th trace ``t%012x``.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+        max_spans: int = 10_000,
+    ):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.enabled = bool(enabled)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._finished: deque = deque(maxlen=int(max_spans))
+        self._next_span = 0
+        self._next_trace = 0
+        self.dropped = 0  # finished spans evicted by the bound
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
+
+    # -- spans -------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        trace_id: Optional[str] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ):
+        """A new span; with ``parent`` (a real, enabled span) it joins the
+        parent's trace, otherwise it roots a fresh trace."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is not None and parent.span_id:
+            trace_id = parent.trace_id
+            parent_id: Optional[str] = parent.span_id
+        else:
+            parent_id = None
+        with self._lock:
+            self._next_span += 1
+            span_id = f"s{self._next_span:012x}"
+            if trace_id is None:
+                self._next_trace += 1
+                trace_id = f"t{self._next_trace:012x}"
+        return Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            start_time=self.clock(),
+            tracer=self,
+            attributes=attributes,
+        )
+
+    def span(self, name: str, **kwargs):
+        """Alias of :meth:`start_span` for ``with tracer.span(...)`` use."""
+        return self.start_span(name, **kwargs)
+
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+            self._finished.append(span)
+
+    # -- queries -----------------------------------------------------------
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """Finished spans of one trace, in start order."""
+        spans = [s for s in self.finished_spans() if s.trace_id == trace_id]
+        return sorted(spans, key=lambda s: (s.start_time, s.span_id))
+
+    def trace_ids(self) -> List[str]:
+        seen: List[str] = []
+        for span in self.finished_spans():
+            if span.trace_id not in seen:
+                seen.append(span.trace_id)
+        return seen

@@ -31,6 +31,8 @@ from repro.nn.model import Sequential
 from repro.nn.optimizers import Optimizer, get_optimizer
 from repro.nn.serialization import model_from_dict, model_to_dict
 from repro.nn.training import Callback
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.runtime import get_registry
 from repro.storage.integrity import (
     CorruptArtifactError,
     SchemaVersionError,
@@ -81,6 +83,7 @@ class CheckpointManager:
         generations: int = 3,
         fsync: bool = True,
         on_event: Optional[Callable[[str, dict], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if generations < 1:
             raise ValueError(f"generations must be >= 1, got {generations}")
@@ -88,6 +91,28 @@ class CheckpointManager:
         self.generations = int(generations)
         self.fsync = bool(fsync)
         self.on_event = on_event
+        registry = registry if registry is not None else get_registry()
+        self._m_saves = registry.counter(
+            "checkpoint_saves_total", "checkpoint generations written"
+        )
+        self._m_loads = registry.counter(
+            "checkpoint_loads_total", "checkpoint loads by result"
+        )
+        self._m_quarantines = registry.counter(
+            "checkpoint_quarantines_total",
+            "files moved to quarantine after failed verification",
+        )
+        self._m_fallbacks = registry.counter(
+            "checkpoint_fallbacks_total",
+            "loads served by an older generation",
+        )
+        self._m_save_seconds = registry.histogram(
+            "checkpoint_save_seconds",
+            "envelope write time (serialize + fsync) per save",
+        )
+        self._m_bytes = registry.counter(
+            "checkpoint_bytes_written_total", "payload bytes persisted"
+        )
         os.makedirs(self.directory, exist_ok=True)
 
     # -- events --------------------------------------------------------------
@@ -163,6 +188,7 @@ class CheckpointManager:
             if not os.path.exists(destination):
                 break
         os.replace(path, destination)
+        self._m_quarantines.inc()
         self._emit(
             "quarantine",
             {"file": base, "quarantined_as": os.path.basename(destination),
@@ -208,7 +234,11 @@ class CheckpointManager:
         target = self._generation_path(name, generation)
         buffer = io.BytesIO()
         np.savez(buffer, **arrays)
-        write_envelope(target, buffer.getvalue(), fsync=self.fsync)
+        payload = buffer.getvalue()
+        with self._m_save_seconds.time():
+            write_envelope(target, payload, fsync=self.fsync)
+        self._m_saves.inc()
+        self._m_bytes.inc(len(payload))
         self.prune(name, keep=keep)
         return target
 
@@ -252,12 +282,15 @@ class CheckpointManager:
             data.generation = generation
             data.fell_back = index > 0
             if data.fell_back:
+                self._m_fallbacks.inc()
                 self._emit(
                     "fallback",
                     {"name": name, "generation": generation,
                      "skipped": index},
                 )
+            self._m_loads.inc(result="fallback" if data.fell_back else "ok")
             return data
+        self._m_loads.inc(result="corrupt")
         raise CorruptArtifactError(
             f"no verifiable checkpoint generation for {name!r}: "
             + "; ".join(failures)

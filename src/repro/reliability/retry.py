@@ -15,6 +15,8 @@ from typing import Callable, List, Optional, Tuple, Type
 
 import numpy as np
 
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.runtime import get_registry
 from repro.reliability.faults import AcquisitionError
 
 __all__ = [
@@ -51,6 +53,7 @@ class RetryPolicy:
         seed: int = 0,
         deadline_s: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -72,6 +75,16 @@ class RetryPolicy:
         self.deadline_s = float(deadline_s) if deadline_s is not None else None
         self.clock = clock
         self._rng = np.random.default_rng(seed)
+        registry = registry if registry is not None else get_registry()
+        self._m_attempts = registry.counter(
+            "retry_attempts_total", "acquisition attempts made"
+        )
+        self._m_retries = registry.counter(
+            "retry_retries_total", "attempts that were retries"
+        )
+        self._m_exhausted = registry.counter(
+            "retry_exhausted_total", "calls abandoned, by cause"
+        )
         self.total_attempts = 0
         self.total_retries = 0
         self.deadline_stops = 0
@@ -96,6 +109,7 @@ class RetryPolicy:
         last_error: Optional[BaseException] = None
         for attempt in range(1, self.max_attempts + 1):
             self.total_attempts += 1
+            self._m_attempts.inc()
             try:
                 return fn(*args, **kwargs)
             except self.retry_on as error:
@@ -108,12 +122,15 @@ class RetryPolicy:
                     and self.clock() - start + delay >= self.deadline_s
                 ):
                     self.deadline_stops += 1
+                    self._m_exhausted.inc(cause="deadline")
                     raise RetryExhaustedError(
                         f"deadline budget of {self.deadline_s}s exhausted "
                         f"after {attempt} attempt(s); last: {last_error}"
                     ) from last_error
                 self.total_retries += 1
+                self._m_retries.inc()
                 self.sleep(delay)
+        self._m_exhausted.inc(cause="attempts")
         raise RetryExhaustedError(
             f"{self.max_attempts} attempts failed; last: {last_error}"
         ) from last_error

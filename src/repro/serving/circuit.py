@@ -23,7 +23,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.runtime import get_registry
 
 __all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitTransition", "CircuitBreaker"]
 
@@ -51,6 +54,8 @@ class CircuitBreaker:
         recovery_time_s: float = 5.0,
         half_open_probes: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[CircuitTransition], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -62,6 +67,12 @@ class CircuitBreaker:
         self.recovery_time_s = float(recovery_time_s)
         self.half_open_probes = int(half_open_probes)
         self.clock = clock
+        self.on_transition = on_transition
+        registry = registry if registry is not None else get_registry()
+        self._m_transitions = registry.counter(
+            "circuit_transitions_total",
+            "circuit-breaker state changes by edge",
+        )
         self._lock = threading.RLock()
         self._state = CLOSED
         self._consecutive_failures = 0
@@ -80,15 +91,19 @@ class CircuitBreaker:
             return self._state
 
     def _transition(self, to_state: str, reason: str) -> None:
-        self.transitions.append(
-            CircuitTransition(
-                at=float(self.clock()),
-                from_state=self._state,
-                to_state=to_state,
-                reason=reason,
-            )
+        transition = CircuitTransition(
+            at=float(self.clock()),
+            from_state=self._state,
+            to_state=to_state,
+            reason=reason,
         )
+        self.transitions.append(transition)
         self._state = to_state
+        self._m_transitions.inc(
+            from_state=transition.from_state, to_state=to_state
+        )
+        if self.on_transition is not None:
+            self.on_transition(transition)
 
     def _maybe_enter_half_open(self) -> None:
         if (

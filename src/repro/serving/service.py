@@ -34,6 +34,9 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.runtime import get_registry, get_tracer
+from repro.observability.tracing import Tracer
 from repro.reliability.validation import ValidationError, validate_spectrum
 from repro.serving.circuit import CircuitBreaker
 
@@ -83,23 +86,38 @@ class PendingRequest:
         self.deadline_at = deadline_at
         self._clock = clock
         self._enqueued_at = float(clock())
+        self._resolved_at: Optional[float] = None
         self._event = threading.Event()
         self._lock = threading.Lock()
         self._result = None
         self._on_resolve = on_resolve
+        # Trace context installed by the service: the submit span roots the
+        # request's trace, the queue span covers time spent waiting.
+        self.trace_id: Optional[str] = None
+        self._queue_span = None
 
     @property
     def resolved(self) -> bool:
         return self._event.is_set()
 
     def latency(self) -> float:
-        return float(self._clock()) - self._enqueued_at
+        """Seconds from enqueue to resolution — frozen once resolved.
+
+        While the request is in flight this is the age so far; after
+        :meth:`resolve` it reports the latency *at resolution time* and
+        never grows again, so ``latency_s`` read later stays stable.
+        """
+        end = self._resolved_at if self._resolved_at is not None else float(
+            self._clock()
+        )
+        return end - self._enqueued_at
 
     def resolve(self, result) -> bool:
         """Install ``result`` if nobody beat us to it; True if we won."""
         with self._lock:
             if self._event.is_set():
                 return False
+            self._resolved_at = float(self._clock())
             self._result = result
             self._event.set()
         if self._on_resolve is not None:
@@ -136,6 +154,15 @@ class AnalysisService:
     (``data -> validated array``, raising
     :class:`~repro.reliability.validation.ValidationError`) for stricter
     gates.  All timing uses the injectable monotonic ``clock``.
+
+    Telemetry is default-on through the process-global registry/tracer
+    (:mod:`repro.observability.runtime`) and fully injectable via
+    ``registry``/``tracer``: per-outcome request counters and latency
+    histograms, queue-depth and in-flight gauges (all labeled
+    ``service=name``), and a per-request span chain ``serving.submit →
+    serving.queue → serving.analyze → serving.resolve`` sharing one
+    ``trace_id`` (exposed as ``PendingRequest.trace_id``).  Disabling the
+    registry/tracer reduces every instrumentation point to one branch.
     """
 
     def __init__(
@@ -148,6 +175,9 @@ class AnalysisService:
         validator: Optional[Callable] = None,
         breaker: Optional[CircuitBreaker] = None,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "analysis",
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -163,6 +193,31 @@ class AnalysisService:
         self.validator = validator
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.clock = clock
+        self.name = str(name)
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._m_submitted = self.registry.counter(
+            "serving_submitted_total", "requests entering submit()"
+        )
+        self._m_requests = self.registry.counter(
+            "serving_requests_total", "resolved requests by final outcome"
+        )
+        self._m_latency = self.registry.histogram(
+            "serving_request_latency_seconds",
+            "submit-to-resolve latency by final outcome",
+        )
+        self._m_queue_depth = self.registry.gauge(
+            "serving_queue_depth", "requests waiting in the bounded queue"
+        )
+        self._m_inflight = self.registry.gauge(
+            "serving_inflight_requests", "requests currently in a worker"
+        )
+        # Bound series: the label sets are fixed per service instance, so
+        # the hot path skips the per-call label-key computation.
+        self._b_submitted = self._m_submitted.labels(service=self.name)
+        self._b_queue_depth = self._m_queue_depth.labels(service=self.name)
+        self._b_inflight = self._m_inflight.labels(service=self.name)
+        self._b_outcomes: Dict[str, tuple] = {}
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._threads: List[threading.Thread] = []
         self._ids = itertools.count()
@@ -233,6 +288,9 @@ class AnalysisService:
                 break
             if item is _SHUTDOWN:
                 continue
+            self._b_queue_depth.dec()
+            if item._queue_span is not None:
+                item._queue_span.end(status="error: shutdown")
             self._finish(
                 item,
                 Rejected(
@@ -240,6 +298,7 @@ class AnalysisService:
                     request_id=item.request_id,
                     latency_s=item.latency(),
                 ),
+                parent_span=item._queue_span,
             )
 
     def __enter__(self) -> "AnalysisService":
@@ -273,16 +332,36 @@ class AnalysisService:
         )
         with self._stats_lock:
             self.submitted += 1
+        self._b_submitted.inc()
+        submit_span = self.tracer.start_span(
+            "serving.submit",
+            attributes={"request_id": request.request_id,
+                        "service": self.name},
+        )
+        request.trace_id = submit_span.trace_id or None
+        # The queue span must be attached before the enqueue: a worker can
+        # dequeue the request before put_nowait even returns.
+        request._queue_span = self.tracer.start_span(
+            "serving.queue", parent=submit_span
+        )
         try:
             self._queue.put_nowait(request)
         except queue.Full:
-            request.resolve(
+            request._queue_span.end(status="error: queue_full")
+            submit_span.set_attribute("outcome", "queue_full")
+            submit_span.end(status="error: queue_full")
+            self._finish(
+                request,
                 Rejected(
                     reason="queue_full",
                     request_id=request.request_id,
                     detail={"queue_size": self.queue_size},
                 ),
+                parent_span=submit_span,
             )
+        else:
+            self._b_queue_depth.inc()
+            submit_span.end()
         return request
 
     def analyze(self, intensities, deadline_s: Optional[float] = None):
@@ -290,13 +369,28 @@ class AnalysisService:
         return self.submit(intensities, deadline_s=deadline_s).result()
 
     def stats(self) -> Dict[str, object]:
+        """Counts plus live telemetry: queue depth, in-flight workers and
+        per-outcome p50/p95/p99 latencies from the shared histogram."""
         with self._stats_lock:
-            return {
+            base: Dict[str, object] = {
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "rejections": dict(self.rejections),
                 "circuit_state": self.breaker.state,
             }
+        base["queue_depth"] = self._b_queue_depth.value()
+        base["inflight"] = self._b_inflight.value()
+        latency: Dict[str, Dict[str, object]] = {}
+        for labels in self._m_latency.series_labels():
+            if labels.get("service") != self.name:
+                continue
+            outcome = labels.get("outcome", "")
+            latency[outcome] = {
+                "count": self._m_latency.count(**labels),
+                **self._m_latency.percentiles(**labels),
+            }
+        base["latency_s"] = latency
+        return base
 
     # -- workers -----------------------------------------------------------
 
@@ -320,8 +414,19 @@ class AnalysisService:
                 )
 
     def _handle(self, request: PendingRequest) -> None:
+        self._b_queue_depth.dec()
+        queue_span = request._queue_span
+        if queue_span is not None:
+            queue_span.end()
         if request.resolved:  # caller gave up while we were queued
             return
+        self._b_inflight.inc()
+        try:
+            self._handle_admitted(request, queue_span)
+        finally:
+            self._b_inflight.dec()
+
+    def _handle_admitted(self, request: PendingRequest, queue_span) -> None:
         now = float(self.clock())
         if now >= request.deadline_at:
             self._finish(
@@ -331,6 +436,7 @@ class AnalysisService:
                     request_id=request.request_id,
                     latency_s=request.latency(),
                 ),
+                parent_span=queue_span,
             )
             return
         if not self.breaker.allow():
@@ -341,14 +447,21 @@ class AnalysisService:
                     request_id=request.request_id,
                     latency_s=request.latency(),
                 ),
+                parent_span=queue_span,
             )
             return
+        analyze_span = self.tracer.start_span(
+            "serving.analyze",
+            parent=queue_span,
+            attributes={"request_id": request.request_id},
+        )
         try:
             data = self._validate(request.data)
         except ValidationError as error:
             # Bad input is the caller's fault, not the analyzer's: it must
             # not push the breaker toward open.
             self.breaker.record_success()
+            analyze_span.end(status="error: invalid_input")
             self._finish(
                 request,
                 Rejected(
@@ -357,6 +470,7 @@ class AnalysisService:
                     latency_s=request.latency(),
                     detail={"error": str(error)},
                 ),
+                parent_span=analyze_span,
             )
             return
         started = float(self.clock())
@@ -364,6 +478,7 @@ class AnalysisService:
             value, analyzer_seconds = self._call_analyzer(data, started)
         except Exception as error:
             self.breaker.record_failure()
+            analyze_span.end(status=f"error: {type(error).__name__}")
             self._finish(
                 request,
                 Rejected(
@@ -372,11 +487,14 @@ class AnalysisService:
                     latency_s=request.latency(),
                     detail={"error": f"{type(error).__name__}: {error}"},
                 ),
+                parent_span=analyze_span,
             )
             return
+        analyze_span.set_attribute("analyzer_seconds", analyzer_seconds)
         value = np.asarray(value, dtype=np.float64)
         if not np.isfinite(value).all():
             self.breaker.record_failure()
+            analyze_span.end(status="error: nonfinite_output")
             self._finish(
                 request,
                 Rejected(
@@ -384,12 +502,14 @@ class AnalysisService:
                     request_id=request.request_id,
                     latency_s=request.latency(),
                 ),
+                parent_span=analyze_span,
             )
             return
         if float(self.clock()) >= request.deadline_at:
             # Correct but too late; a chronically slow backend should trip
             # the breaker just like a failing one.
             self.breaker.record_failure()
+            analyze_span.end(status="error: deadline_exceeded")
             self._finish(
                 request,
                 Rejected(
@@ -398,9 +518,11 @@ class AnalysisService:
                     latency_s=request.latency(),
                     detail={"analyzer_seconds": analyzer_seconds},
                 ),
+                parent_span=analyze_span,
             )
             return
         self.breaker.record_success()
+        analyze_span.end()
         self._finish(
             request,
             Completed(
@@ -409,6 +531,7 @@ class AnalysisService:
                 analyzer_seconds=analyzer_seconds,
                 latency_s=request.latency(),
             ),
+            parent_span=analyze_span,
         )
 
     def _validate(self, data) -> np.ndarray:
@@ -424,11 +547,22 @@ class AnalysisService:
 
     # -- bookkeeping -------------------------------------------------------
 
-    def _finish(self, request: PendingRequest, result) -> None:
-        request.resolve(result)
+    def _finish(self, request: PendingRequest, result, parent_span=None) -> None:
+        """Resolve under a ``serving.resolve`` span closing the trace chain."""
+        outcome = "completed" if result.ok else result.reason
+        span = self.tracer.start_span(
+            "serving.resolve",
+            parent=parent_span,
+            attributes={"request_id": request.request_id, "outcome": outcome},
+        )
+        if request.resolve(result):
+            span.end()
+        else:
+            span.end(status="error: already_resolved")
 
     def _record(self, result) -> None:
         """Count every resolution exactly once, whoever resolved it."""
+        outcome = "completed" if result.ok else result.reason
         with self._stats_lock:
             if isinstance(result, Completed):
                 self.completed += 1
@@ -436,3 +570,12 @@ class AnalysisService:
                 self.rejections[result.reason] = (
                     self.rejections.get(result.reason, 0) + 1
                 )
+        bound = self._b_outcomes.get(outcome)
+        if bound is None:
+            # Racing threads may build duplicates; they share one series.
+            bound = self._b_outcomes[outcome] = (
+                self._m_requests.labels(outcome=outcome, service=self.name),
+                self._m_latency.labels(outcome=outcome, service=self.name),
+            )
+        bound[0].inc()
+        bound[1].observe(result.latency_s)

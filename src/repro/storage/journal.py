@@ -19,6 +19,8 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.observability.runtime import counter as _counter
+from repro.observability.runtime import histogram as _histogram
 from repro.storage.integrity import active_injector
 
 __all__ = ["Journal"]
@@ -63,22 +65,31 @@ class Journal:
     # -- writes --------------------------------------------------------------
 
     def append(self, record: dict) -> None:
-        """Durably append one record; returns only once it is committed."""
-        payload = json.dumps(record, ensure_ascii=False, default=float).encode(
-            "utf-8"
-        )
-        line = _checksum(payload).encode("ascii") + b" " + payload + b"\n"
-        injector = active_injector()
-        if injector is not None:
-            line = injector.filter_append(self.path, line)
-        if self._handle is None:
-            self._handle = open(self.path, "ab")
-        self._handle.write(line)
-        self._handle.flush()
-        if self.fsync and not (
-            injector is not None and injector.skip_fsync(self.path)
-        ):
-            os.fsync(self._handle.fileno())
+        """Durably append one record; returns only once it is committed.
+
+        Each committed append counts into ``journal_appends_total`` and
+        its full write+flush+fsync time into ``journal_append_seconds``.
+        """
+        with _histogram(
+            "journal_append_seconds",
+            "WAL append time including flush and fsync",
+        ).time(fsync="on" if self.fsync else "off"):
+            payload = json.dumps(
+                record, ensure_ascii=False, default=float
+            ).encode("utf-8")
+            line = _checksum(payload).encode("ascii") + b" " + payload + b"\n"
+            injector = active_injector()
+            if injector is not None:
+                line = injector.filter_append(self.path, line)
+            if self._handle is None:
+                self._handle = open(self.path, "ab")
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync and not (
+                injector is not None and injector.skip_fsync(self.path)
+            ):
+                os.fsync(self._handle.fileno())
+        _counter("journal_appends_total", "committed WAL appends").inc()
         if injector is not None:
             injector.after_append(self.path)  # may raise SimulatedCrash
 

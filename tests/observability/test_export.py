@@ -1,0 +1,171 @@
+"""Exporters: JSONL round-trip, text report, provenance bridge, runtime."""
+
+import json
+
+import pytest
+
+from repro.db import DocumentStore
+from repro.db.provenance import ProvenanceTracker
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    export_metrics_jsonl,
+    export_spans_jsonl,
+    format_metric_dicts,
+    format_span_dicts,
+    get_registry,
+    get_tracer,
+    read_jsonl,
+    scoped,
+    set_registry,
+    set_tracer,
+    snapshot_to_provenance,
+    text_dump,
+)
+
+
+@pytest.fixture
+def populated():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "requests").inc(outcome="ok")
+    registry.counter("requests_total", "requests").inc(outcome="bad")
+    registry.gauge("depth", "queue depth").set(3.0)
+    hist = registry.histogram("latency_seconds", "latency")
+    for value in (0.001, 0.002, 0.004):
+        hist.observe(value, outcome="ok")
+    tracer = Tracer()
+    root = tracer.start_span("submit")
+    child = tracer.start_span("queue", parent=root)
+    child.end()
+    root.end()
+    return registry, tracer
+
+
+class TestJsonlRoundTrip:
+    def test_every_span_line_parses_and_round_trips(self, populated, tmp_path):
+        _, tracer = populated
+        path = tmp_path / "spans.jsonl"
+        count = export_spans_jsonl(tracer, path)
+        raw_lines = path.read_text().splitlines()
+        assert count == len(raw_lines) == 2
+        for line in raw_lines:
+            json.loads(line)  # must not raise
+        records = read_jsonl(path)
+        assert [r["kind"] for r in records] == ["span", "span"]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["queue"]["parent_id"] == by_name["submit"]["span_id"]
+        assert by_name["queue"]["trace_id"] == by_name["submit"]["trace_id"]
+
+    def test_every_metric_line_parses_and_round_trips(
+        self, populated, tmp_path
+    ):
+        registry, _ = populated
+        path = tmp_path / "metrics.jsonl"
+        count = export_metrics_jsonl(registry, path)
+        raw_lines = path.read_text().splitlines()
+        assert count == len(raw_lines) == 4  # ok+bad counters, gauge, hist
+        for line in raw_lines:
+            json.loads(line)  # must not raise
+        records = read_jsonl(path)
+        assert all(r["kind"] == "metric" for r in records)
+        hist = next(r for r in records if r["type"] == "histogram")
+        assert hist["count"] == 3
+        assert len(hist["bucket_counts"]) == len(hist["bucket_bounds"]) + 1
+
+    def test_export_accepts_snapshot_and_span_list(self, populated, tmp_path):
+        registry, tracer = populated
+        metrics_path = tmp_path / "m.jsonl"
+        spans_path = tmp_path / "s.jsonl"
+        assert export_metrics_jsonl(registry.snapshot(), metrics_path) == 4
+        assert export_spans_jsonl(tracer.finished_spans(), spans_path) == 2
+
+
+class TestTextRendering:
+    def test_format_metric_dicts(self, populated, tmp_path):
+        registry, _ = populated
+        path = tmp_path / "m.jsonl"
+        export_metrics_jsonl(registry, path)
+        text = format_metric_dicts(read_jsonl(path))
+        assert "requests_total{outcome=ok}" in text
+        assert "latency_seconds{outcome=ok}" in text
+        assert "p95" in text
+
+    def test_format_span_dicts_indents_children(self, populated, tmp_path):
+        _, tracer = populated
+        path = tmp_path / "s.jsonl"
+        export_spans_jsonl(tracer, path)
+        text = format_span_dicts(read_jsonl(path))
+        lines = text.splitlines()
+        submit = next(l for l in lines if "submit" in l)
+        queue = next(l for l in lines if "queue" in l)
+        indent = lambda l: len(l) - len(l.lstrip())  # noqa: E731
+        assert indent(queue) > indent(submit)
+
+    def test_text_dump_uses_given_instances(self, populated):
+        registry, tracer = populated
+        text = text_dump(registry=registry, tracer=tracer)
+        assert "== metrics ==" in text
+        assert "== spans ==" in text
+        assert "requests_total" in text
+        assert "submit" in text
+
+
+class TestProvenanceBridge:
+    def test_snapshot_persists_as_artifact(self, populated):
+        registry, _ = populated
+        store = DocumentStore()
+        artifact_id = snapshot_to_provenance(
+            registry=registry, store=store, metadata={"run": "t"}
+        )
+        artifact = ProvenanceTracker(store).get(artifact_id)
+        assert artifact["kind"] == "metrics_snapshot"
+        assert artifact["metadata"]["run"] == "t"
+        names = [
+            m["name"] for m in artifact["metadata"]["snapshot"]["metrics"]
+        ]
+        assert "requests_total" in names
+
+    def test_snapshot_links_parents(self, populated):
+        registry, _ = populated
+        tracker = ProvenanceTracker()
+        parent = tracker.record("model", {"name": "m"})
+        child = snapshot_to_provenance(
+            registry=registry, tracker=tracker, parents=[parent]
+        )
+        assert tracker.get(child)["parents"] == [parent]
+
+
+class TestRuntimeGlobals:
+    def test_scoped_swaps_and_restores(self):
+        outer_registry, outer_tracer = get_registry(), get_tracer()
+        with scoped() as (registry, tracer):
+            assert get_registry() is registry is not outer_registry
+            assert get_tracer() is tracer is not outer_tracer
+            registry.counter("scoped_only", "x").inc()
+        assert get_registry() is outer_registry
+        assert get_tracer() is outer_tracer
+        assert outer_registry.get("scoped_only") is None
+
+    def test_scoped_restores_after_exception(self):
+        outer = get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped():
+                raise RuntimeError("boom")
+        assert get_registry() is outer
+
+    def test_set_get_registry_and_tracer(self):
+        outer_registry, outer_tracer = get_registry(), get_tracer()
+        try:
+            mine_r, mine_t = MetricsRegistry(), Tracer()
+            set_registry(mine_r)
+            set_tracer(mine_t)
+            assert get_registry() is mine_r
+            assert get_tracer() is mine_t
+        finally:
+            set_registry(outer_registry)
+            set_tracer(outer_tracer)
+
+    def test_default_dump_reads_globals(self):
+        with scoped() as (registry, _):
+            registry.counter("global_dump_probe", "x").inc()
+            assert "global_dump_probe" in text_dump()

@@ -1,0 +1,238 @@
+"""Metrics registry: families, labels, histogram percentiles, threading."""
+
+import threading
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("c", "help")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_address_separate_series(self, registry):
+        counter = registry.counter("c", "help")
+        counter.inc(outcome="ok")
+        counter.inc(outcome="ok")
+        counter.inc(outcome="bad")
+        assert counter.value(outcome="ok") == 2.0
+        assert counter.value(outcome="bad") == 1.0
+        assert counter.total() == 3.0
+
+    def test_label_order_is_irrelevant(self, registry):
+        counter = registry.counter("c", "help")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("c", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_bound_series_shares_the_family_series(self, registry):
+        counter = registry.counter("c", "help")
+        bound = counter.labels(service="x")
+        bound.inc()
+        bound.inc(2.0)
+        counter.inc(service="x")
+        assert counter.value(service="x") == 4.0
+        assert bound.value() == 4.0
+        with pytest.raises(ValueError):
+            bound.inc(-1.0)
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        """Satellite: worker threads hammering one series stay exact."""
+        counter = registry.counter("c", "help")
+        bound = counter.labels(worker="shared")
+        per_thread, n_threads = 2_000, 8
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc(worker="shared")
+                bound.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value(worker="shared") == 2 * per_thread * n_threads
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g", "help")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value() == 6.0
+
+    def test_bound_series(self, registry):
+        gauge = registry.gauge("g", "help")
+        bound = gauge.labels(service="x")
+        bound.set(3.0)
+        bound.inc()
+        bound.dec(0.5)
+        assert gauge.value(service="x") == 3.5
+        assert bound.value() == 3.5
+
+    def test_concurrent_inc_dec_balances(self, registry):
+        gauge = registry.gauge("g", "help")
+        bound = gauge.labels(q="x")
+
+        def work():
+            for _ in range(2_000):
+                bound.inc()
+                bound.dec()
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert bound.value() == 0.0
+
+
+class TestHistogramPercentiles:
+    """Satellite: the percentile edge cases, asserted exactly."""
+
+    def test_empty_series_is_none(self, registry):
+        hist = registry.histogram("h", "help")
+        assert hist.percentile(50.0) is None
+        assert hist.percentiles() == {"p50": None, "p95": None, "p99": None}
+        assert hist.mean() is None
+
+    def test_single_sample_is_returned_exactly(self, registry):
+        hist = registry.histogram("h", "help")
+        hist.observe(0.0042)
+        for p in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert hist.percentile(p) == pytest.approx(0.0042)
+
+    def test_all_samples_in_one_bucket_same_value(self, registry):
+        hist = registry.histogram("h", "help", buckets=(1.0, 10.0))
+        for _ in range(100):
+            hist.observe(3.0)
+        # Interpolation is clamped to the observed min/max, so a
+        # degenerate distribution reports its one value everywhere.
+        for p in (1.0, 50.0, 99.0):
+            assert hist.percentile(p) == pytest.approx(3.0)
+
+    def test_all_samples_in_one_bucket_estimates_stay_inside(self, registry):
+        hist = registry.histogram("h", "help", buckets=(1.0, 10.0))
+        for value in (2.0, 3.0, 4.0, 5.0):
+            hist.observe(value)
+        for p in (10.0, 50.0, 90.0):
+            assert 2.0 <= hist.percentile(p) <= 5.0
+        assert hist.percentile(100.0) == pytest.approx(5.0)
+
+    def test_value_equal_to_bound_lands_in_that_bucket(self, registry):
+        hist = registry.histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        hist.observe(2.0)  # == the second bound: belongs to bucket <= 2.0
+        hist.observe(2.0)
+        snapshot = hist.snapshot()[0]
+        assert snapshot["bucket_counts"] == [0, 2, 0, 0]
+        assert hist.percentile(50.0) == pytest.approx(2.0)
+
+    def test_overflow_bucket_beyond_last_bound(self, registry):
+        hist = registry.histogram("h", "help", buckets=(1.0,))
+        hist.observe(50.0)
+        hist.observe(60.0)
+        snapshot = hist.snapshot()[0]
+        assert snapshot["bucket_counts"] == [0, 2]
+        assert 50.0 <= hist.percentile(99.0) <= 60.0
+
+    def test_percentiles_are_monotone(self, registry):
+        hist = registry.histogram("h", "help")
+        for i in range(1, 200):
+            hist.observe(i / 1000.0)
+        values = [hist.percentile(p) for p in (10.0, 50.0, 90.0, 99.0)]
+        assert values == sorted(values)
+        assert hist.count() == 199
+
+    def test_out_of_range_p_rejected(self, registry):
+        hist = registry.histogram("h", "help")
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
+    def test_bad_bucket_bounds_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h1", "help", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", "help", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", "help", buckets=(1.0, 1.0))
+
+    def test_time_context_manager_observes(self, registry):
+        ticks = iter([0.0, 0.25])
+        registry.clock = lambda: next(ticks)
+        hist = registry.histogram("h", "help")
+        with hist.time(op="x"):
+            pass
+        assert hist.count(op="x") == 1
+        assert hist.sum(op="x") == pytest.approx(0.25)
+
+    def test_bound_series_and_timer(self, registry):
+        ticks = iter([0.0, 0.5])
+        registry.clock = lambda: next(ticks)
+        hist = registry.histogram("h", "help")
+        bound = hist.labels(op="x")
+        with bound.time():
+            pass
+        bound.observe(0.5)
+        assert hist.count(op="x") == 2
+        assert hist.percentile(50.0, op="x") == pytest.approx(0.5)
+
+
+class TestRegistry:
+    def test_same_name_returns_same_family(self, registry):
+        assert registry.counter("c", "a") is registry.counter("c", "b")
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("c", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("c", "help")
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c", "help")
+        hist = registry.histogram("h", "help")
+        counter.inc()
+        counter.labels(s="x").inc()
+        hist.observe(1.0)
+        hist.labels(s="x").observe(1.0)
+        assert counter.total() == 0.0
+        assert hist.count() == 0
+
+    def test_enable_disable_toggle(self, registry):
+        counter = registry.counter("c", "help")
+        counter.inc()
+        registry.disable()
+        counter.inc()
+        registry.enable()
+        counter.inc()
+        assert counter.value() == 2.0
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c", "ch").inc(outcome="ok")
+        registry.histogram("h", "hh").observe(0.001)
+        snapshot = registry.snapshot()
+        assert snapshot["enabled"] is True
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        assert by_name["c"]["type"] == "counter"
+        assert by_name["c"]["series"][0]["labels"] == {"outcome": "ok"}
+        hist_series = by_name["h"]["series"][0]
+        assert hist_series["count"] == 1
+        assert len(hist_series["bucket_counts"]) == \
+            len(hist_series["bucket_bounds"]) + 1

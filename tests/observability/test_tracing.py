@@ -1,0 +1,154 @@
+"""Tracer and span semantics: nesting, status, manual end, bounds."""
+
+import threading
+
+import pytest
+
+from repro.observability import STATUS_OK, STATUS_UNSET, Tracer
+from repro.observability.tracing import NULL_SPAN
+
+
+def make_tracer(**kwargs):
+    ticks = iter(float(i) for i in range(10_000))
+    return Tracer(clock=lambda: next(ticks), **kwargs)
+
+
+class TestSpanLifecycle:
+    def test_context_manager_marks_ok(self):
+        tracer = make_tracer()
+        with tracer.span("work") as span:
+            assert span.status == STATUS_UNSET
+            assert not span.ended
+        assert span.ended
+        assert span.status == STATUS_OK
+        assert span.duration == pytest.approx(1.0)
+
+    def test_escaping_exception_marks_error(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work") as span:
+                raise RuntimeError("boom")
+        assert span.status == "error: RuntimeError"
+
+    def test_manual_end_is_idempotent(self):
+        tracer = make_tracer()
+        span = tracer.start_span("work")
+        span.end(status="error: shed")
+        first_end = span.end_time
+        span.end()  # second end changes nothing
+        assert span.end_time == first_end
+        assert span.status == "error: shed"
+        assert len(tracer.finished_spans()) == 1
+
+    def test_attributes_and_to_dict(self):
+        tracer = make_tracer()
+        span = tracer.start_span("work", attributes={"a": 1})
+        span.set_attribute("b", "two")
+        span.end()
+        record = span.to_dict()
+        assert record["name"] == "work"
+        assert record["attributes"] == {"a": 1, "b": "two"}
+        assert record["duration_s"] == span.duration
+
+
+class TestTraceStructure:
+    def test_child_joins_parent_trace(self):
+        tracer = make_tracer()
+        root = tracer.start_span("root")
+        child = tracer.start_span("child", parent=root)
+        grandchild = tracer.start_span("grandchild", parent=child)
+        assert child.trace_id == root.trace_id
+        assert grandchild.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_parentless_spans_root_fresh_traces(self):
+        tracer = make_tracer()
+        a = tracer.start_span("a")
+        b = tracer.start_span("b")
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+
+    def test_ids_are_deterministic(self):
+        tracer = make_tracer()
+        first = tracer.start_span("a")
+        second = tracer.start_span("b")
+        assert first.span_id == "s000000000001"
+        assert second.span_id == "s000000000002"
+        assert first.trace_id == "t000000000001"
+
+    def test_trace_query_returns_start_ordered_spans(self):
+        tracer = make_tracer()
+        root = tracer.start_span("root")
+        child = tracer.start_span("child", parent=root)
+        child.end()
+        root.end()
+        spans = tracer.trace(root.trace_id)
+        assert [s.name for s in spans] == ["root", "child"]
+        assert tracer.trace_ids() == [root.trace_id]
+
+
+class TestTracerBehaviour:
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.start_span("work", attributes={"a": 1})
+        assert span is NULL_SPAN
+        with span:
+            span.set_attribute("b", 2).set_status("ok")
+        assert tracer.finished_spans() == []
+
+    def test_null_span_as_parent_roots_fresh_trace(self):
+        tracer = make_tracer()
+        span = tracer.start_span("child", parent=NULL_SPAN)
+        assert span.parent_id is None
+        assert span.trace_id
+
+    def test_collector_bound_evicts_oldest_and_counts(self):
+        tracer = make_tracer(max_spans=3)
+        for i in range(5):
+            tracer.start_span(f"s{i}").end()
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_clear_resets_collector(self):
+        tracer = make_tracer(max_spans=2)
+        for i in range(4):
+            tracer.start_span(f"s{i}").end()
+        tracer.clear()
+        assert tracer.finished_spans() == []
+        assert tracer.dropped == 0
+
+    def test_cross_thread_start_and_end(self):
+        """A span started on one thread can be ended on another — the
+        serving queue span does exactly this."""
+        tracer = Tracer()
+        span = tracer.start_span("queued")
+
+        worker = threading.Thread(target=lambda: span.end())
+        worker.start()
+        worker.join()
+        assert span.ended
+        assert [s.name for s in tracer.finished_spans()] == ["queued"]
+
+    def test_concurrent_span_creation_ids_unique(self):
+        tracer = Tracer()
+        collected = []
+        lock = threading.Lock()
+
+        def work():
+            local = [tracer.start_span("w").end() for _ in range(200)]
+            with lock:
+                collected.extend(local)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [s.span_id for s in collected]
+        assert len(set(ids)) == len(ids) == 1600
+
+    def test_max_spans_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
