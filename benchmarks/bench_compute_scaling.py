@@ -1,0 +1,174 @@
+"""COMPUTE — scaling of the parallel executor and the artifact cache.
+
+Two claims the compute subsystem makes, measured:
+
+(a) **Executor scaling** — a 4-topology training sweep fanned over the
+    ``process`` backend finishes faster than the serial loop, while every
+    backend produces byte-identical models, metrics and ``select_best``
+    outcomes.  The speedup assertion only applies on machines with >= 4
+    cores (a 1-core container can demonstrate determinism, not scaling;
+    the core count is recorded in the results JSON either way).
+(b) **Cache amortization** — regenerating an NMR training set through the
+    content-addressed cache turns the second call into a checksummed read,
+    at least an order of magnitude faster than rendering.
+
+Set ``REPRO_BENCH_WORKERS`` to bound the worker pool (CI uses 2).
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.compute import BACKENDS, ArtifactCache, ParallelExecutor
+from repro.compute.datasets import generate_nmr_dataset
+from repro.core.datasets import SpectraDataset
+from repro.core.topologies import mlp_topology
+from repro.core.training_service import TrainingConfig, TrainingService
+from repro.nmr.hard_model import mndpa_reaction_models
+from repro.nmr.simulator import NMRSpectrumSimulator
+
+from conftest import print_table, scale, write_results
+
+CORES = os.cpu_count() or 1
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", str(min(CORES, 4))))
+
+NMR_RANGES = {
+    "p-toluidine": (0.0, 0.5),
+    "Li-toluidide": (0.0, 0.5),
+    "o-FNB": (0.0, 0.6),
+    "MNDPA": (0.0, 0.45),
+}
+
+
+def _sweep_dataset(n, length=64, outputs=3, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.dirichlet(np.ones(outputs), size=n)
+    x = y @ rng.random((outputs, length)) + 0.01 * rng.random((n, length))
+    return SpectraDataset(x, y, tuple(f"c{i}" for i in range(outputs)))
+
+
+@pytest.fixture(scope="module")
+def executor_rows():
+    """Time the same 4-topology sweep on every backend; verify identity."""
+    topologies = [
+        mlp_topology(3, hidden_units=(64,)),
+        mlp_topology(3, hidden_units=(128,)),
+        mlp_topology(3, hidden_units=(64, 32)),
+        mlp_topology(3, hidden_units=(128, 64)),
+    ]
+    dataset = _sweep_dataset(scale(600, 6000))
+    config = TrainingConfig(
+        epochs=scale(4, 20), batch_size=32, patience=None, seed=1
+    )
+    rows = []
+    services = {}
+    for backend in BACKENDS:
+        executor = ParallelExecutor(backend=backend, max_workers=WORKERS)
+        service = TrainingService(config, executor=executor)
+        start = time.perf_counter()
+        service.train_all(topologies, dataset, sweep_name=f"bench-{backend}")
+        elapsed = time.perf_counter() - start
+        services[backend] = service
+        rows.append(
+            {"backend": backend, "seconds": elapsed,
+             "workers": WORKERS if backend != "serial" else 1,
+             "best": service.select_best().topology_name}
+        )
+    serial_s = rows[0]["seconds"]
+    for row in rows:
+        row["speedup_vs_serial"] = serial_s / row["seconds"]
+    print_table(
+        f"executor scaling ({CORES} cores, {WORKERS} workers)",
+        rows,
+        ["backend", "workers", "seconds", "speedup_vs_serial", "best"],
+    )
+    return rows, services
+
+
+@pytest.fixture(scope="module")
+def cache_rows():
+    """Time one NMR generation cold (render) and warm (verified read)."""
+    simulator = NMRSpectrumSimulator(mndpa_reaction_models(), NMR_RANGES)
+    n = scale(400, 10_000)
+    with tempfile.TemporaryDirectory() as root:
+        cache = ArtifactCache(os.path.join(root, "cache"))
+        start = time.perf_counter()
+        x_cold, y_cold, info_cold = generate_nmr_dataset(
+            simulator, n, seed=0, cache=cache
+        )
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        x_warm, y_warm, info_warm = generate_nmr_dataset(
+            simulator, n, seed=0, cache=cache
+        )
+        warm_s = time.perf_counter() - start
+    assert (info_cold["hit"], info_warm["hit"]) == (False, True)
+    np.testing.assert_array_equal(x_warm, x_cold)
+    np.testing.assert_array_equal(y_warm, y_cold)
+    rows = [
+        {"path": "cold (render)", "seconds": cold_s, "speedup": 1.0},
+        {"path": "warm (cache)", "seconds": warm_s, "speedup": cold_s / warm_s},
+    ]
+    print_table(
+        f"cache amortization ({n} NMR spectra)",
+        rows,
+        ["path", "seconds", "speedup"],
+    )
+    return rows
+
+
+def test_backends_byte_identical(executor_rows):
+    rows, services = executor_rows
+    reference = services["serial"]
+    for backend in BACKENDS[1:]:
+        service = services[backend]
+        for run, ref in zip(service.runs, reference.runs):
+            assert run.metrics == ref.metrics, backend
+            for got, want in zip(
+                run.model.get_weights(), ref.model.get_weights()
+            ):
+                np.testing.assert_array_equal(got, want)
+        assert (
+            service.select_best().topology_name
+            == reference.select_best().topology_name
+        ), backend
+
+
+def test_process_backend_scales(executor_rows):
+    rows, _ = executor_rows
+    times = {row["backend"]: row["seconds"] for row in rows}
+    speedup = times["serial"] / times["process"]
+    if CORES >= 4 and WORKERS >= 4:
+        assert speedup >= 1.8, (
+            f"process backend only {speedup:.2f}x vs serial on {CORES} cores"
+        )
+    else:
+        pytest.skip(
+            f"speedup assertion needs >= 4 cores and workers "
+            f"(have {CORES} cores, {WORKERS} workers); "
+            f"measured {speedup:.2f}x"
+        )
+
+
+def test_warm_cache_at_least_10x(cache_rows):
+    speedup = cache_rows[1]["speedup"]
+    assert speedup >= 10.0, (
+        f"warm cache only {speedup:.1f}x faster than cold generation"
+    )
+
+
+def test_write_results(executor_rows, cache_rows):
+    sweep_rows, _ = executor_rows
+    write_results(
+        "compute_scaling",
+        {
+            "cores": CORES,
+            "workers": WORKERS,
+            "full_scale": bool(int(os.environ.get("REPRO_FULL", "0"))),
+            "executor": sweep_rows,
+            "cache": cache_rows,
+        },
+    )

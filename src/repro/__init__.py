@@ -21,7 +21,10 @@ Subpackages:
   circuit breaker, admission gates and deadlines;
 * :mod:`repro.observability` — default-on metrics registry, tracing
   spans and telemetry export wired through training, serving and
-  storage.
+  storage;
+* :mod:`repro.compute` — parallel execution engine (serial/thread/process
+  backends behind one deterministic ``map_tasks`` API) and the
+  content-addressed, checksummed dataset/artifact cache.
 """
 
 __version__ = "1.0.0"

@@ -9,7 +9,9 @@ source code; this module is that surface:
 * ``table2``       — predict embedded execution costs for a trained model;
 * ``nmr-campaign`` — run the virtual NMR DoE campaign and save its spectra;
 * ``telemetry``    — render exported span/metric JSONL files (or a live
-  instrumented demo workload) as a human-readable report.
+  instrumented demo workload) as a human-readable report;
+* ``cache``        — inspect, verify or clear a content-addressed
+  artifact cache directory (``repro cache stats --dir <path>``).
 
 Datasets are ``.npz`` files with arrays ``x``, ``y`` and a JSON-encoded
 ``meta`` record.  Run ``python -m repro.cli <command> --help`` for options.
@@ -207,6 +209,36 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.compute import ArtifactCache
+
+    cache = ArtifactCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries: {stats['entries']}  "
+              f"total bytes: {stats['total_bytes']}  "
+              f"quarantined: {stats['quarantined']}")
+        for row in cache.entries():
+            print(f"  {row['key'][:16]}...  {row['bytes']:>12} bytes")
+        return 0
+    if args.action == "verify":
+        report = cache.verify()
+        corrupt = 0
+        for key, status in sorted(report.items()):
+            print(f"  {key[:16]}...  {status}")
+            if status != "ok":
+                corrupt += 1
+        print(f"verified {len(report)} entries, {corrupt} corrupt "
+              f"({'quarantined' if corrupt else 'nothing quarantined'})")
+        return 1 if corrupt else 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -268,6 +300,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a small instrumented serving workload, then dump it",
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, verify or clear an artifact cache directory"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "verify", "clear"],
+        help="stats: list entries and counters; verify: checksum every "
+             "entry (quarantines failures, exit 1 if any); clear: remove "
+             "all live entries (quarantine is kept)",
+    )
+    cache.add_argument(
+        "--dir", required=True, help="cache root directory"
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     return parser
 

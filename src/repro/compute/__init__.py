@@ -1,0 +1,58 @@
+"""Compute layer: parallel execution + content-addressed artifact cache.
+
+The paper's scaling axis is offline throughput — "a sufficient number of
+simulated and labelled measurement series can be generated in minutes" and
+whole topology tables swept over them.  This package makes those two hot
+paths scale with the hardware:
+
+* :mod:`repro.compute.executor` — :class:`ParallelExecutor`, one
+  ``map_tasks()`` API over ``serial``/``thread``/``process`` backends with
+  per-task :class:`numpy.random.SeedSequence`-spawned generators
+  (byte-identical results on every backend), typed :class:`TaskFailure`
+  containment and :class:`~repro.reliability.retry.RetryPolicy`-driven
+  re-attempts;
+* :mod:`repro.compute.cache` — :class:`ArtifactCache`, artifacts keyed by
+  a canonical SHA-256 of their generating config, stored as
+  :mod:`repro.storage.integrity` envelopes with verify-on-read, corrupt
+  entry quarantine and a size-bounded LRU evict;
+* :mod:`repro.compute.datasets` — cache-aware wrappers deriving the
+  canonical generating configs of the MS and NMR bulk dataset generators.
+
+Layering: ``compute`` sits beside ``reliability``/``storage``/
+``observability`` (it imports all three) and below ``core``, which fans
+training sweeps out over the executor.
+"""
+
+from repro.compute.cache import (
+    CACHE_FORMAT_VERSION,
+    ArtifactCache,
+    canonical_blob,
+    canonical_key,
+)
+from repro.compute.datasets import (
+    generate_ms_dataset,
+    generate_nmr_dataset,
+    ms_dataset_config,
+    nmr_dataset_config,
+)
+from repro.compute.executor import (
+    BACKENDS,
+    ParallelExecutor,
+    TaskError,
+    TaskFailure,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "BACKENDS",
+    "CACHE_FORMAT_VERSION",
+    "ParallelExecutor",
+    "TaskError",
+    "TaskFailure",
+    "canonical_blob",
+    "canonical_key",
+    "generate_ms_dataset",
+    "generate_nmr_dataset",
+    "ms_dataset_config",
+    "nmr_dataset_config",
+]

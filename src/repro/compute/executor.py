@@ -1,0 +1,275 @@
+"""Pluggable parallel execution engine for offline sweeps.
+
+The paper's offline workloads — bulk dataset generation and multi-topology
+training sweeps — are embarrassingly parallel, yet until now every candidate
+ran strictly serially.  :class:`ParallelExecutor` puts one ``map_tasks()``
+API in front of three interchangeable backends (``serial``, ``thread``,
+``process``) with three guarantees the sweeps depend on:
+
+* **Determinism** — every task receives its own
+  :class:`numpy.random.Generator` spawned from one root
+  :class:`numpy.random.SeedSequence` by task index, so all three backends
+  produce byte-identical results for the same seed.  Scheduling order can
+  never leak into the data.
+* **Containment** — a task that raises is converted into a typed
+  :class:`TaskFailure` in its result slot instead of killing the sweep;
+  a hard worker death (e.g. a SIGKILL'd process breaking the pool) fails
+  the affected tasks the same way.  With a
+  :class:`~repro.reliability.retry.RetryPolicy` attached, failed tasks are
+  re-attempted in the parent process under the policy's backoff budget
+  before being declared dead.
+* **Observability** — each ``map_tasks`` call opens a ``compute.map`` span
+  and feeds per-task timing histograms and outcome counters, so a sweep's
+  scaling behaviour is measurable, not guessed.
+
+Worker functions must have the signature ``fn(payload, rng)`` and — for
+the ``process`` backend — be importable module-level callables with
+picklable payloads and results.  An optional ``chaos`` hook (typically a
+:class:`~repro.reliability.faults.FaultInjector` wrapping a no-op source)
+is invoked with the task index before each attempt, which is how the
+chaos suite kills workers mid-sweep deterministically.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.observability.runtime import get_registry, get_tracer
+from repro.reliability.retry import RetryExhaustedError, RetryPolicy
+
+__all__ = ["BACKENDS", "TaskError", "TaskFailure", "ParallelExecutor"]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+class TaskError(RuntimeError):
+    """A task attempt failed inside a worker (original error re-packaged)."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.error_message = message
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that stayed dead after every permitted attempt.
+
+    Occupies the task's slot in the ``map_tasks`` result list so callers
+    keep positional alignment with their payloads; ``error_type`` names
+    the original exception class raised in the worker.
+    """
+
+    index: int
+    label: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    detail: dict = field(default_factory=dict)
+
+
+def _execute_task(fn, payload, seed_seq, index, chaos):
+    """Run one task attempt; never raises (returns a tagged outcome).
+
+    Module-level so the process backend can pickle it.  The per-task
+    generator is rebuilt from the spawned ``SeedSequence`` child here, in
+    the worker, so every backend (and every retry) sees the exact same
+    stream.  Exceptions are captured and re-packaged — a raising task must
+    cost one result slot, never the pool.
+    """
+    start = time.perf_counter()
+    try:
+        if chaos is not None:
+            chaos(index)
+        rng = np.random.default_rng(seed_seq)
+        result = fn(payload, rng)
+        return True, result, None, None, time.perf_counter() - start
+    except Exception as error:  # noqa: BLE001 — containment is the contract
+        return (
+            False,
+            None,
+            type(error).__name__,
+            str(error),
+            time.perf_counter() - start,
+        )
+
+
+class ParallelExecutor:
+    """One ``map_tasks()`` API over serial / thread / process backends."""
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retries: int = 0,
+        chaos: Optional[Callable[[int], None]] = None,
+        seed: int = 0,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.backend = backend
+        self.max_workers = (
+            int(max_workers) if max_workers is not None
+            else max(os.cpu_count() or 1, 1)
+        )
+        if retry_policy is None and retries > 0:
+            # The wave execution was attempt #1; the policy governs only
+            # the in-parent re-attempts, so ``retries=2`` means three
+            # attempts total.
+            retry_policy = RetryPolicy(
+                max_attempts=retries,
+                base_delay=0.0,
+                jitter=0.0,
+                retry_on=(TaskError,),
+            )
+        self.retry_policy = retry_policy
+        self.chaos = chaos
+        self.seed = int(seed)
+        registry = get_registry()
+        self._m_tasks = registry.counter(
+            "compute_tasks_total", "executor tasks by backend and outcome"
+        )
+        self._m_task_seconds = registry.histogram(
+            "compute_task_seconds", "per-task execution time by backend"
+        )
+
+    # -- the one API ---------------------------------------------------------
+
+    def map_tasks(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        label: str = "map",
+        seed: Optional[int] = None,
+    ) -> List:
+        """Run ``fn(payload, rng)`` over every payload; order-preserving.
+
+        Returns one entry per payload: the task's return value, or a
+        :class:`TaskFailure` if it failed every permitted attempt.  The
+        per-task ``rng`` is ``default_rng(SeedSequence(seed).spawn(n)[i])``
+        regardless of backend, so results are byte-identical across
+        ``serial``/``thread``/``process`` for a fixed seed.
+        """
+        payloads = list(payloads)
+        n = len(payloads)
+        root = np.random.SeedSequence(self.seed if seed is None else seed)
+        children = root.spawn(n) if n else []
+        failures = 0
+        retried_ok = 0
+        with get_tracer().start_span(
+            "compute.map",
+            attributes={"backend": self.backend, "tasks": n, "label": label},
+        ) as span:
+            outcomes = self._run_wave(fn, payloads, children)
+            results: List = [None] * n
+            for index, outcome in enumerate(outcomes):
+                ok, value, error_type, message, duration = outcome
+                self._m_task_seconds.observe(duration, backend=self.backend)
+                if ok:
+                    self._m_tasks.inc(backend=self.backend, outcome="ok")
+                    results[index] = value
+                    continue
+                value, attempts, recovered = self._retry_in_parent(
+                    fn, payloads[index], children[index], index,
+                    error_type, message,
+                )
+                if recovered:
+                    retried_ok += 1
+                    self._m_tasks.inc(backend=self.backend, outcome="retried_ok")
+                    results[index] = value
+                else:
+                    failures += 1
+                    self._m_tasks.inc(backend=self.backend, outcome="failed")
+                    error_type, message = value
+                    results[index] = TaskFailure(
+                        index=index,
+                        label=label,
+                        error_type=error_type,
+                        message=message,
+                        attempts=attempts,
+                    )
+            span.set_attribute("failures", failures)
+            span.set_attribute("retried_ok", retried_ok)
+        return results
+
+    # -- backend waves -------------------------------------------------------
+
+    def _run_wave(self, fn, payloads, children) -> List[tuple]:
+        """One parallel pass over all payloads; one outcome tuple each."""
+        if self.backend == "serial" or len(payloads) <= 1:
+            return [
+                _execute_task(fn, payload, child, index, self.chaos)
+                for index, (payload, child) in enumerate(zip(payloads, children))
+            ]
+        if self.backend == "thread":
+            pool_cls = concurrent.futures.ThreadPoolExecutor
+        else:
+            pool_cls = concurrent.futures.ProcessPoolExecutor
+        workers = min(self.max_workers, len(payloads))
+        outcomes: List[tuple] = []
+        with pool_cls(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_task, fn, payload, child, index, self.chaos)
+                for index, (payload, child) in enumerate(zip(payloads, children))
+            ]
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except BaseException as error:  # noqa: BLE001
+                    # A hard worker death (broken pool, unpicklable result)
+                    # must cost its tasks, not the sweep: report it like an
+                    # in-task failure and let the retry path re-run it
+                    # in-parent.
+                    outcomes.append(
+                        (False, None, type(error).__name__, str(error), 0.0)
+                    )
+        return outcomes
+
+    # -- retry path ----------------------------------------------------------
+
+    def _retry_in_parent(self, fn, payload, child, index, error_type, message):
+        """Re-attempt a failed task under the retry policy, in-process.
+
+        Retries run in the parent so a repeatedly crashing worker cannot
+        take the pool down again; determinism holds because the task rng
+        is rebuilt from the same SeedSequence child on every attempt.
+        Returns ``(value_or_error, attempts, recovered)``.
+        """
+        if self.retry_policy is None:
+            return (error_type, message), 1, False
+        attempts = [1]
+
+        def attempt():
+            attempts[0] += 1
+            ok, value, retry_type, retry_message, duration = _execute_task(
+                fn, payload, child, index, self.chaos
+            )
+            self._m_task_seconds.observe(duration, backend=self.backend)
+            if not ok:
+                raise TaskError(retry_type, retry_message)
+            return value
+
+        try:
+            return self.retry_policy.call(attempt), attempts[0], True
+        except RetryExhaustedError as error:
+            cause = error.__cause__
+            if isinstance(cause, TaskError):
+                return (cause.error_type, cause.error_message), attempts[0], False
+            return (error_type, message), attempts[0], False
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParallelExecutor backend={self.backend!r} "
+            f"max_workers={self.max_workers}>"
+        )

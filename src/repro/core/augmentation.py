@@ -45,16 +45,30 @@ def plateau_time_series(
         )
     if x.shape[0] == 0:
         raise ValueError("cannot build a time series from an empty dataset")
+    if renoise is None:
+        # Exact repetition: no per-frame draws interleave with the plateau
+        # structure, so draw every (source, repeats) pair first — same two
+        # scalar draws per plateau, same order — then build the series as
+        # one repeated gather instead of a per-frame Python append loop.
+        sources: list = []
+        repeats: list = []
+        total = 0
+        while total < n_timesteps:
+            sources.append(int(rng.integers(0, x.shape[0])))
+            repeats.append(int(rng.integers(min_repeats, max_repeats + 1)))
+            total += repeats[-1]
+        index = np.repeat(sources, repeats)[:n_timesteps]
+        return x[index].copy(), y[index].copy()
+    # With a renoise hook every frame consumes generator draws between the
+    # structure draws, so the original interleaved per-frame loop is kept
+    # verbatim to preserve the generator stream.
     frames = []
     labels = []
     while len(frames) < n_timesteps:
         source = int(rng.integers(0, x.shape[0]))
-        repeats = int(rng.integers(min_repeats, max_repeats + 1))
-        for _ in range(repeats):
-            frame = x[source]
-            if renoise is not None:
-                frame = renoise(frame, rng)
-            frames.append(frame)
+        count = int(rng.integers(min_repeats, max_repeats + 1))
+        for _ in range(count):
+            frames.append(renoise(x[source], rng))
             labels.append(y[source])
     x_seq = np.stack(frames[:n_timesteps])
     y_seq = np.stack(labels[:n_timesteps])

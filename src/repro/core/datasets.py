@@ -64,7 +64,42 @@ class SpectraDataset:
         return self.subset(train_idx, "train"), self.subset(test_idx, "test")
 
     def subset(self, indices: Sequence[int], label: str = "subset") -> "SpectraDataset":
+        """Rows at ``indices`` as a new dataset.
+
+        ``indices`` may be an integer sequence/array or a boolean mask of
+        length ``len(self)``.  Negative integers follow Python semantics
+        (``-1`` is the last sample) and are normalized before selection;
+        anything outside ``[-len(self), len(self))`` raises ``IndexError``
+        naming the offending values instead of silently aliasing.
+        """
         indices = np.asarray(indices)
+        n = len(self)
+        if indices.dtype == np.bool_:
+            if indices.shape != (n,):
+                raise IndexError(
+                    f"boolean mask of shape {indices.shape} cannot index "
+                    f"{n} samples (need ({n},))"
+                )
+            indices = np.flatnonzero(indices)
+        else:
+            if indices.size and not np.issubdtype(indices.dtype, np.integer):
+                raise IndexError(
+                    f"indices must be integers or a boolean mask, "
+                    f"got dtype {indices.dtype}"
+                )
+            if indices.ndim > 1:
+                raise IndexError(
+                    f"indices must be 1-D, got shape {indices.shape}"
+                )
+            indices = indices.astype(np.intp, copy=True).reshape(-1)
+            bad = (indices < -n) | (indices >= n)
+            if np.any(bad):
+                offending = indices[bad][:5].tolist()
+                raise IndexError(
+                    f"indices {offending} out of range for {n} samples "
+                    f"(valid: [-{n}, {n}))"
+                )
+            indices[indices < 0] += n
         metadata = dict(self.metadata)
         metadata["subset"] = label
         return SpectraDataset(

@@ -171,16 +171,41 @@ class MSToolchain:
         self,
         simulator: MassSpectrometerSimulator,
         n: int,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
         simulator_artifact: Optional[int] = None,
+        cache: Optional["ArtifactCache"] = None,
+        seed: Optional[int] = None,
     ) -> Tuple[SpectraDataset, int]:
-        """Tool 1 + Tool 3: a labelled simulated dataset."""
-        x, y = simulator.generate_dataset(self.task_compounds, n, rng)
-        dataset = SpectraDataset(
-            x, y, self.task_compounds, {"source": "simulated", "n": n}
-        )
+        """Tool 1 + Tool 3: a labelled simulated dataset.
+
+        With a :class:`~repro.compute.cache.ArtifactCache` (requires
+        ``seed`` — the cache key is derived from the generating config, so
+        generation must be seed-driven, not generator-driven) a repeat of
+        an identical config is a verified read instead of a re-render; the
+        provenance record then carries the content key and hit/miss
+        disposition.
+        """
+        metadata: Dict[str, object] = {"source": "simulated", "n": n}
+        record: Dict[str, object] = {"n": n}
+        if cache is not None:
+            if seed is None:
+                raise ValueError("cache-aware generation requires seed=")
+            from repro.compute.datasets import generate_ms_dataset
+
+            x, y, info = generate_ms_dataset(
+                simulator, self.task_compounds, n, seed, cache=cache
+            )
+            metadata["cache_key"] = record["cache_key"] = info["key"]
+            metadata["cache_hit"] = record["cache_hit"] = bool(info["hit"])
+        else:
+            if rng is None:
+                if seed is None:
+                    raise ValueError("provide rng= or seed=")
+                rng = np.random.default_rng(seed)
+            x, y = simulator.generate_dataset(self.task_compounds, n, rng)
+        dataset = SpectraDataset(x, y, self.task_compounds, metadata)
         parents = [simulator_artifact] if simulator_artifact is not None else []
-        artifact = self.provenance.record("dataset", {"n": n}, parents=parents)
+        artifact = self.provenance.record("dataset", record, parents=parents)
         return dataset, artifact
 
     # -- step 4: training + evaluation --------------------------------------------
@@ -257,15 +282,22 @@ class MSToolchain:
         epochs: int = 30,
         seed: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
+        cache: Optional["ArtifactCache"] = None,
     ) -> ToolchainResult:
-        """The full Fig.-3 flow against a device and an evaluation set."""
+        """The full Fig.-3 flow against a device and an evaluation set.
+
+        ``cache``, if given, makes the training-data step content-addressed:
+        repeating the flow with an identical fitted simulator and seed
+        reloads the dataset instead of re-rendering it.
+        """
         rng = np.random.default_rng(seed)
         measurements, m_id = self.collect_reference_measurements(
             rig, samples_per_mixture, retry_policy=retry_policy
         )
         simulator, characterization, s_id = self.build_simulator(measurements, m_id)
         dataset, d_id = self.generate_training_data(
-            simulator, n_training_spectra, rng, s_id
+            simulator, n_training_spectra, rng, s_id, cache=cache,
+            seed=seed if cache is not None else None,
         )
         model, history, validation_mae, n_id = self.train_network(
             dataset, topology=topology, epochs=epochs, seed=seed,

@@ -11,6 +11,13 @@ one-conv topology, each round proposes mutations (add a conv layer, widen
 filters, change kernel/stride), trains every candidate through the
 :class:`~repro.core.training_service.TrainingService`, keeps the best, and
 stops when the target MAE is met or no mutation improves the incumbent.
+
+With an :class:`~repro.compute.executor.ParallelExecutor`, each round's
+candidates train concurrently instead of one after another; the
+greedy-selection outcome is identical for a fixed seed because every
+candidate trains from the same per-candidate seed on every backend, and a
+candidate whose task dies simply drops out of the round instead of
+aborting the search.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.compute.executor import ParallelExecutor
 from repro.core.datasets import SpectraDataset
 from repro.core.topologies import TopologySpec
 from repro.core.training_service import TrainingConfig, TrainingService
@@ -100,6 +108,7 @@ class ExplorativeSearch:
         max_rounds: int = 4,
         candidates_per_round: int = 4,
         seed: int = 0,
+        executor: Optional[ParallelExecutor] = None,
     ):
         if target_mae <= 0:
             raise ValueError("target_mae must be positive")
@@ -113,6 +122,7 @@ class ExplorativeSearch:
         self.config = config
         self.max_rounds = int(max_rounds)
         self.candidates_per_round = int(candidates_per_round)
+        self.executor = executor
         self._rng = np.random.default_rng(seed)
 
     # -- mutation proposals ---------------------------------------------------
@@ -176,10 +186,16 @@ class ExplorativeSearch:
                 )
                 for blocks in candidates
             ]
-            service = TrainingService(self.config)
+            service = TrainingService(self.config, executor=self.executor)
             service.train_all(specs, dataset, progress=progress)
+            # Match runs to candidates by name: a parallel sweep may have
+            # dropped a failed candidate, so positional zip would misalign.
+            runs_by_name = {run.topology_name: run for run in service.runs}
             improved = False
-            for blocks, run in zip(candidates, service.runs):
+            for blocks, spec in zip(candidates, specs):
+                run = runs_by_name.get(spec.name)
+                if run is None:
+                    continue  # candidate's task failed; skip, don't abort
                 metric = run.metrics["val_mae"]
                 history.append(
                     {"round": round_index, "topology": run.topology_name,

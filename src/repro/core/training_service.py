@@ -16,6 +16,18 @@ topology/epoch — completed topologies are reloaded (same final metrics as
 an uninterrupted run), a half-trained topology resumes from its last
 checkpointed epoch with restored optimizer state.  Every checkpoint and
 resume event is recorded in the :class:`ProvenanceTracker`.
+
+With an :class:`~repro.compute.executor.ParallelExecutor` the service fans
+candidate training out over the executor's backend instead of looping:
+each topology trains as one task with the same per-topology seed the
+serial path uses, so serial/thread/process sweeps produce byte-identical
+models, metrics and :meth:`TrainingService.select_best` outcomes.  A task
+that dies (worker crash, injected fault) becomes a typed
+:class:`FailedRun` in :attr:`TrainingService.failures` — recorded in
+provenance and metrics, never lost, never fatal to the sweep.  In
+parallel mode per-epoch checkpointing and mid-topology resume are
+disabled (only the final scored snapshot is saved); completed-topology
+skip on ``resume=True`` still works.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.compute.executor import ParallelExecutor, TaskFailure
 from repro.core.datasets import SpectraDataset
 from repro.core.topologies import TopologySpec
 from repro.db.provenance import ProvenanceTracker
@@ -37,7 +50,7 @@ from repro.observability.runtime import get_tracer
 from repro.reliability.checkpoint import Checkpoint, CheckpointManager
 from repro.storage.integrity import CorruptArtifactError
 
-__all__ = ["TrainingConfig", "TrainingRun", "TrainingService"]
+__all__ = ["TrainingConfig", "TrainingRun", "FailedRun", "TrainingService"]
 
 
 @dataclass(frozen=True)
@@ -90,12 +103,86 @@ class TrainingRun:
     rollbacks: int = 0
 
 
+@dataclass(frozen=True)
+class FailedRun:
+    """A topology whose training task died in a parallel sweep."""
+
+    topology_name: str
+    error_type: str
+    message: str
+    attempts: int = 1
+
+
+def _train_candidate(payload: dict, rng: np.random.Generator) -> dict:
+    """Executor task: train and score one topology (worker-side).
+
+    Module-level and driven only by picklable payload data so the process
+    backend can ship it to a worker.  Mirrors the serial ``_train_one``
+    path for a fresh (non-resumed) topology — same build seed, callbacks
+    and scoring — which is what makes serial and parallel sweeps
+    byte-identical.  The executor-provided ``rng`` is unused: training
+    determinism comes from the config seed, exactly as in serial mode.
+    """
+    config = payload["config"]
+    spec = TopologySpec.from_json(payload["topology_json"])
+    train_x, train_y = payload["train_x"], payload["train_y"]
+    model = spec.build(train_x.shape[1:], seed=config["seed"])
+    model.compile(config["optimizer"], config["loss"])
+    callbacks = []
+    if config["patience"] is not None:
+        callbacks.append(
+            EarlyStopping(patience=config["patience"], restore_best_weights=True)
+        )
+    sentinel: Optional[DivergenceSentinel] = None
+    if config["sentinel"]:
+        sentinel = DivergenceSentinel(max_rollbacks=config["sentinel_max_rollbacks"])
+        callbacks.append(sentinel)
+    history = model.fit(
+        train_x,
+        train_y,
+        epochs=config["epochs"],
+        batch_size=config["batch_size"],
+        validation_data=(payload["val_x"], payload["val_y"]),
+        callbacks=callbacks,
+        seed=config["seed"],
+        clip_norm=config["clip_norm"],
+    )
+    predictions = model.predict(payload["val_x"])
+    metrics = {
+        "val_mae": mean_absolute_error(predictions, payload["val_y"]),
+        "val_mse": mean_squared_error(predictions, payload["val_y"]),
+        "val_r2": r2_score(predictions, payload["val_y"]),
+    }
+    if payload["eval_x"] is not None:
+        measured = model.predict(payload["eval_x"])
+        metrics["measured_mae"] = mean_absolute_error(measured, payload["eval_y"])
+        metrics["measured_mse"] = mean_squared_error(measured, payload["eval_y"])
+    return {
+        "weights": model.get_weights(),
+        "metrics": metrics,
+        "epochs_run": len(history.epochs),
+        "rollbacks": sentinel.rollbacks if sentinel is not None else 0,
+        "rollback_events": [
+            {
+                "epoch": event.epoch,
+                "reason": event.reason,
+                "new_learning_rate": event.new_learning_rate,
+            }
+            for event in (sentinel.events if sentinel is not None else [])
+        ],
+    }
+
+
 class TrainingService:
     """Trains a list of topologies on one dataset, records, ranks, exports.
 
     With ``checkpoints`` set, every topology is snapshotted while it trains
     and finalized when it completes, so a killed sweep can be picked up
     with ``train_all(..., resume=True)``.
+
+    With ``executor`` set, topologies train as parallel tasks on the
+    executor's backend; failed tasks land in :attr:`failures` instead of
+    aborting the sweep.
     """
 
     def __init__(
@@ -103,11 +190,14 @@ class TrainingService:
         config: TrainingConfig = TrainingConfig(),
         provenance: Optional[ProvenanceTracker] = None,
         checkpoints: Optional[CheckpointManager] = None,
+        executor: Optional[ParallelExecutor] = None,
     ):
         self.config = config
         self.provenance = provenance
         self.checkpoints = checkpoints
+        self.executor = executor
         self.runs: List[TrainingRun] = []
+        self.failures: List[FailedRun] = []
         if (
             provenance is not None
             and checkpoints is not None
@@ -178,6 +268,14 @@ class TrainingService:
             "train.sweep",
             attributes={"sweep": sweep_name, "topologies": len(topologies)},
         ) as sweep_span:
+            if self.executor is not None:
+                sweep_span.set_attribute("backend", self.executor.backend)
+                self._train_all_parallel(
+                    topologies, train, validation, evaluation_data,
+                    dataset_artifact, progress, resume, sweep_name,
+                    sweep_state, completed, topologies_counter, sweep_span,
+                )
+                return self.runs
             for topology in topologies:
                 checkpoint_name = f"{sweep_name}-{topology.name}"
                 if resume and topology.name in completed:
@@ -224,6 +322,153 @@ class TrainingService:
                     sweep_state["completed"] = completed
                     self.checkpoints.save_state(sweep_name, sweep_state)
         return self.runs
+
+    # -- parallel sweep ----------------------------------------------------
+
+    def _train_all_parallel(
+        self,
+        topologies: Sequence[TopologySpec],
+        train: SpectraDataset,
+        validation: SpectraDataset,
+        evaluation_data: Optional[SpectraDataset],
+        dataset_artifact: Optional[int],
+        progress: Optional[Callable[[str], None]],
+        resume: bool,
+        sweep_name: str,
+        sweep_state: Dict[str, object],
+        completed: Dict[str, dict],
+        topologies_counter,
+        sweep_span,
+    ) -> None:
+        """Fan candidate training out over the executor.
+
+        Phase 1 reloads topologies a previous invocation completed (same
+        semantics as the serial path); phase 2 trains the rest as one
+        executor wave.  Results are consumed in input order, so
+        ``self.runs`` ordering — and therefore ``select_best``
+        tie-breaking — matches the serial path exactly.
+        """
+        to_train: List[TopologySpec] = []
+        for topology in topologies:
+            if resume and topology.name in completed:
+                checkpoint_name = f"{sweep_name}-{topology.name}"
+                try:
+                    run = self._reload_completed(
+                        topology, checkpoint_name, completed[topology.name],
+                        dataset_artifact, progress,
+                    )
+                except CorruptArtifactError:
+                    completed.pop(topology.name, None)
+                else:
+                    topologies_counter.inc(disposition="reloaded")
+                    self.runs.append(run)
+                    continue
+            to_train.append(topology)
+        if not to_train:
+            return
+        if progress is not None:
+            progress(
+                f"training {len(to_train)} topologies on the "
+                f"{self.executor.backend} backend"
+            )
+        config = self.config
+        payload_config = {
+            "epochs": config.epochs,
+            "batch_size": config.batch_size,
+            "optimizer": config.optimizer,
+            "loss": config.loss,
+            "patience": config.patience,
+            "seed": config.seed,
+            "clip_norm": config.clip_norm,
+            "sentinel": config.sentinel,
+            "sentinel_max_rollbacks": config.sentinel_max_rollbacks,
+        }
+        payloads = [
+            {
+                "topology_json": topology.to_json(),
+                "config": payload_config,
+                "train_x": train.x,
+                "train_y": train.y,
+                "val_x": validation.x,
+                "val_y": validation.y,
+                "eval_x": evaluation_data.x if evaluation_data is not None else None,
+                "eval_y": evaluation_data.y if evaluation_data is not None else None,
+            }
+            for topology in to_train
+        ]
+        results = self.executor.map_tasks(
+            _train_candidate, payloads, label=f"train.{sweep_name}"
+        )
+        n_failed = 0
+        for topology, result in zip(to_train, results):
+            if isinstance(result, TaskFailure):
+                n_failed += 1
+                topologies_counter.inc(disposition="failed")
+                failure = FailedRun(
+                    topology_name=topology.name,
+                    error_type=result.error_type,
+                    message=result.message,
+                    attempts=result.attempts,
+                )
+                self.failures.append(failure)
+                self._record_event(
+                    "topology_failed",
+                    {
+                        "topology": topology.name,
+                        "error_type": result.error_type,
+                        "message": result.message,
+                        "attempts": result.attempts,
+                    },
+                    dataset_artifact,
+                )
+                if progress is not None:
+                    progress(
+                        f"failed {topology.name}: "
+                        f"{result.error_type}: {result.message}"
+                    )
+                continue
+            model = topology.build(train.input_shape, seed=config.seed)
+            model.compile(config.optimizer, config.loss)
+            model.set_weights(result["weights"])
+            metrics = {k: float(v) for k, v in result["metrics"].items()}
+            for event in result["rollback_events"]:
+                self._record_event(
+                    "divergence_rollback",
+                    {"topology": topology.name, **event},
+                    dataset_artifact,
+                )
+            if self.checkpoints is not None:
+                self.checkpoints.save(
+                    f"{sweep_name}-{topology.name}",
+                    model,
+                    state={
+                        "epoch": result["epochs_run"],
+                        "completed": True,
+                        "metrics": metrics,
+                    },
+                )
+            artifact_id = self._record_network(
+                topology.name, metrics, dataset_artifact
+            )
+            topologies_counter.inc(disposition="trained")
+            self.runs.append(
+                TrainingRun(
+                    topology_name=topology.name,
+                    model=model,
+                    metrics=metrics,
+                    epochs_run=int(result["epochs_run"]),
+                    artifact_id=artifact_id,
+                    rollbacks=int(result["rollbacks"]),
+                )
+            )
+            if self.checkpoints is not None:
+                completed[topology.name] = {
+                    "metrics": metrics,
+                    "epochs_run": int(result["epochs_run"]),
+                }
+                sweep_state["completed"] = completed
+                self.checkpoints.save_state(sweep_name, sweep_state)
+        sweep_span.set_attribute("failed", n_failed)
 
     # -- one topology ------------------------------------------------------
 

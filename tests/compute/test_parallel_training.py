@@ -1,0 +1,105 @@
+"""Parallel training sweeps must be byte-identical to serial ones."""
+
+import numpy as np
+import pytest
+
+from repro.compute import BACKENDS, ParallelExecutor
+from repro.core.datasets import SpectraDataset
+from repro.core.topologies import mlp_topology
+from repro.core.training_service import TrainingConfig, TrainingService
+from repro.db.provenance import ProvenanceTracker
+
+
+def _dataset(n=80, length=16, outputs=3, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.dirichlet(np.ones(outputs), size=n)
+    x = y @ rng.random((outputs, length)) + 0.01 * rng.random((n, length))
+    return SpectraDataset(x, y, tuple(f"c{i}" for i in range(outputs)))
+
+
+TOPOLOGIES = [
+    mlp_topology(3, hidden_units=(16,)),
+    mlp_topology(3, hidden_units=(8, 8)),
+]
+CONFIG = TrainingConfig(epochs=3, batch_size=16, patience=None, seed=1)
+
+
+def _serial_reference(dataset):
+    service = TrainingService(CONFIG)
+    service.train_all(TOPOLOGIES, dataset)
+    return service
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_metrics_weights_and_selection_match_serial(self, backend):
+        dataset = _dataset()
+        reference = _serial_reference(dataset)
+        executor = ParallelExecutor(backend=backend, max_workers=2)
+        service = TrainingService(CONFIG, executor=executor)
+        runs = service.train_all(TOPOLOGIES, dataset)
+        assert [r.topology_name for r in runs] == [
+            r.topology_name for r in reference.runs
+        ]
+        for run, ref in zip(runs, reference.runs):
+            assert run.metrics == ref.metrics
+            assert run.epochs_run == ref.epochs_run
+            for got, want in zip(
+                run.model.get_weights(), ref.model.get_weights()
+            ):
+                np.testing.assert_array_equal(got, want)
+        assert (
+            service.select_best().topology_name
+            == reference.select_best().topology_name
+        )
+
+    def test_export_results_match(self):
+        dataset = _dataset()
+        reference = _serial_reference(dataset)
+        service = TrainingService(
+            CONFIG, executor=ParallelExecutor(backend="thread", max_workers=2)
+        )
+        service.train_all(TOPOLOGIES, dataset)
+        assert service.export_results() == reference.export_results()
+
+
+class TestParallelProvenance:
+    def test_networks_recorded_per_topology(self):
+        provenance = ProvenanceTracker()
+        service = TrainingService(
+            CONFIG,
+            provenance=provenance,
+            executor=ParallelExecutor(backend="serial"),
+        )
+        service.train_all(TOPOLOGIES, _dataset(), dataset_artifact=None)
+        networks = provenance.find(kind="network")
+        assert {n["metadata"]["topology"] for n in networks} == {
+            t.name for t in TOPOLOGIES
+        }
+        assert all(run.artifact_id is not None for run in service.runs)
+
+
+class TestParallelResume:
+    def test_completed_topologies_skipped(self, tmp_path):
+        from repro.reliability.checkpoint import CheckpointManager
+
+        dataset = _dataset()
+        manager = CheckpointManager(tmp_path / "ckpt")
+        first = TrainingService(
+            CONFIG,
+            checkpoints=manager,
+            executor=ParallelExecutor(backend="serial"),
+        )
+        first.train_all(TOPOLOGIES, dataset, sweep_name="demo")
+
+        second = TrainingService(
+            CONFIG,
+            checkpoints=CheckpointManager(tmp_path / "ckpt"),
+            executor=ParallelExecutor(backend="serial"),
+        )
+        runs = second.train_all(
+            TOPOLOGIES, dataset, resume=True, sweep_name="demo"
+        )
+        assert all(run.resumed for run in runs)
+        for run, ref in zip(runs, first.runs):
+            assert run.metrics == ref.metrics

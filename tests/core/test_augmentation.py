@@ -73,6 +73,59 @@ class TestPlateauTimeSeries:
         b, _ = plateau_time_series(x, y, 40, np.random.default_rng(7))
         np.testing.assert_array_equal(a, b)
 
+    def test_pinned_regression(self):
+        """Pin seeded outputs so the vectorized fast path can never drift
+        from the original per-frame append loop's draw order."""
+        x, y = _source()
+        xs, ys = plateau_time_series(
+            x, y, 100, np.random.default_rng(42), min_repeats=2, max_repeats=6
+        )
+        np.testing.assert_allclose(
+            xs[:3, 0],
+            [0.5436249914654229, 0.5436249914654229, 0.5436249914654229],
+            rtol=0, atol=0,
+        )
+        np.testing.assert_allclose(
+            ys[:3, 0],
+            [0.48884954683346427, 0.48884954683346427, 0.48884954683346427],
+            rtol=0, atol=0,
+        )
+        assert float(xs.sum()) == pytest.approx(446.2178083344595, abs=1e-9)
+        assert float(ys.sum()) == pytest.approx(127.9902581706544, abs=1e-9)
+        # First three plateaus come from sources 1, 13, 8 with the exact
+        # repeat counts the 42-seeded stream dictates.
+        for t, source in zip(range(12), [1] * 5 + [13] * 4 + [8] * 3):
+            np.testing.assert_array_equal(xs[t], x[source])
+
+    def test_rng_state_matches_legacy_after_call(self):
+        """The structure pre-draw must consume exactly the draws the old
+        loop consumed, so downstream seeded code sees the same stream."""
+        x, y = _source()
+        fast = np.random.default_rng(11)
+        legacy = np.random.default_rng(11)
+        plateau_time_series(x, y, 35, fast, min_repeats=2, max_repeats=6)
+        drawn = 0
+        while drawn < 35:
+            int(legacy.integers(0, x.shape[0]))
+            drawn += int(legacy.integers(2, 7))
+        assert fast.integers(0, 1 << 30) == legacy.integers(0, 1 << 30)
+
+    def test_renoise_output_matches_fast_path_structure(self):
+        x, y = _source()
+        identity = lambda frame, rng: frame
+        noisy, _ = plateau_time_series(
+            x, y, 50, np.random.default_rng(5), renoise=identity
+        )
+        plain, _ = plateau_time_series(x, y, 50, np.random.default_rng(5))
+        np.testing.assert_array_equal(noisy, plain)
+
+    def test_output_writable(self):
+        x, y = _source()
+        xs, ys = plateau_time_series(x, y, 10, np.random.default_rng(6))
+        xs[0, 0] = -1.0
+        ys[0, 0] = -1.0
+        assert x.min() >= 0.0  # source untouched
+
 
 class TestSlidingWindows:
     def test_shapes(self):

@@ -80,6 +80,54 @@ class TestNmrCampaign:
             assert data["y"].shape == (54, 4)
 
 
+class TestCache:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path):
+        from repro.compute import ArtifactCache
+
+        root = tmp_path / "cache"
+        cache = ArtifactCache(root)
+        cache.get_or_create(
+            {"kind": "demo", "n": 4, "seed": 0},
+            lambda: {"x": np.arange(4.0), "y": np.ones((4, 1))},
+        )
+        return root
+
+    def test_stats_lists_entries(self, cache_dir, capsys):
+        code = main(["cache", "stats", "--dir", str(cache_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "entries: 1" in output
+        assert "bytes" in output
+
+    def test_verify_clean_cache(self, cache_dir, capsys):
+        code = main(["cache", "verify", "--dir", str(cache_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "verified 1 entries, 0 corrupt" in output
+
+    def test_verify_corrupt_exits_nonzero(self, cache_dir, capsys):
+        entry = next(cache_dir.glob("*.npz.env"))
+        blob = bytearray(entry.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        code = main(["cache", "verify", "--dir", str(cache_dir)])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "1 corrupt" in output
+        assert (cache_dir / "quarantine").is_dir()
+
+    def test_clear_removes_entries(self, cache_dir, capsys):
+        code = main(["cache", "clear", "--dir", str(cache_dir)])
+        assert code == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert not list(cache_dir.glob("*.npz.env"))
+
+    def test_unknown_action_rejected(self, cache_dir):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--dir", str(cache_dir)])
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -91,5 +139,5 @@ class TestParser:
         assert excinfo.value.code == 0
         output = capsys.readouterr().out
         for command in ("ms-generate", "train", "evaluate", "table2",
-                        "nmr-campaign"):
+                        "nmr-campaign", "cache"):
             assert command in output

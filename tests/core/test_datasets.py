@@ -73,6 +73,70 @@ class TestSplit:
         assert test.metadata["subset"] == "test"
 
 
+class TestSubsetValidation:
+    def test_basic_selection(self):
+        ds = _dataset(10)
+        sub = ds.subset([1, 3, 5], "picked")
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.x[0], ds.x[1])
+        assert sub.metadata["subset"] == "picked"
+
+    def test_negative_indices_normalized(self):
+        ds = _dataset(10)
+        sub = ds.subset([-1, -10, 0])
+        np.testing.assert_array_equal(sub.x[0], ds.x[9])
+        np.testing.assert_array_equal(sub.x[1], ds.x[0])
+        np.testing.assert_array_equal(sub.x[2], ds.x[0])
+
+    def test_out_of_range_raises(self):
+        ds = _dataset(10)
+        with pytest.raises(IndexError, match=r"\[10\].*10 samples"):
+            ds.subset([0, 10])
+        with pytest.raises(IndexError, match=r"-11"):
+            ds.subset([-11])
+
+    def test_error_names_at_most_five_offenders(self):
+        ds = _dataset(3)
+        with pytest.raises(IndexError) as excinfo:
+            ds.subset([10, 11, 12, 13, 14, 15, 16])
+        message = str(excinfo.value)
+        assert "[10, 11, 12, 13, 14]" in message
+        assert "15" not in message
+
+    def test_boolean_mask(self):
+        ds = _dataset(6)
+        mask = np.array([True, False, True, False, False, True])
+        sub = ds.subset(mask)
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.x[1], ds.x[2])
+
+    def test_boolean_mask_wrong_length(self):
+        ds = _dataset(6)
+        with pytest.raises(IndexError, match="boolean mask"):
+            ds.subset(np.array([True, False]))
+
+    def test_float_indices_rejected(self):
+        ds = _dataset(6)
+        with pytest.raises(IndexError, match="dtype"):
+            ds.subset(np.array([0.0, 1.5]))
+
+    def test_multidim_indices_rejected(self):
+        ds = _dataset(6)
+        with pytest.raises(IndexError, match="1-D"):
+            ds.subset(np.array([[0, 1], [2, 3]]))
+
+    def test_empty_selection(self):
+        ds = _dataset(6)
+        sub = ds.subset([])
+        assert len(sub) == 0
+
+    def test_caller_array_not_mutated(self):
+        ds = _dataset(10)
+        indices = np.array([-1, -2])
+        ds.subset(indices)
+        np.testing.assert_array_equal(indices, [-1, -2])
+
+
 class TestAccessors:
     def test_labels_as_dicts(self):
         ds = _dataset(3, outputs=2)

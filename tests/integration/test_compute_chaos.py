@@ -1,0 +1,181 @@
+"""Chaos tests: worker crashes mid-sweep must never kill the sweep.
+
+A :class:`~repro.reliability.faults.FaultInjector` wrapping a no-op source
+is installed as the executor's per-task ``chaos`` hook, so a seeded subset
+of training tasks dies with :class:`AcquisitionError` exactly as a crashed
+worker would.  The sweep must complete, record every dead topology as a
+typed :class:`FailedRun` (and in provenance), and still select the best
+survivor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compute import ParallelExecutor
+from repro.core.datasets import SpectraDataset
+from repro.core.topologies import mlp_topology
+from repro.core.training_service import TrainingConfig, TrainingService
+from repro.db.provenance import ProvenanceTracker
+from repro.reliability.faults import FaultConfig, FaultInjector
+
+
+def _dataset(n=60, length=12, outputs=3, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.dirichlet(np.ones(outputs), size=n)
+    x = y @ rng.random((outputs, length)) + 0.01 * rng.random((n, length))
+    return SpectraDataset(x, y, tuple(f"c{i}" for i in range(outputs)))
+
+
+TOPOLOGIES = [
+    mlp_topology(3, hidden_units=(8,)),
+    mlp_topology(3, hidden_units=(16,)),
+    mlp_topology(3, hidden_units=(8, 8)),
+    mlp_topology(3, hidden_units=(16, 8)),
+]
+CONFIG = TrainingConfig(epochs=2, batch_size=16, patience=None, seed=1)
+
+
+def _chaos_executor(dropped_scan, seed=0, retries=0):
+    """Thread backend with one worker: tasks hit the shared injector in
+    submission order, so a fixed seed gives a fixed failure set."""
+    injector = FaultInjector(
+        lambda index: np.zeros(4),
+        FaultConfig(dropped_scan=dropped_scan),
+        seed=seed,
+    )
+    executor = ParallelExecutor(
+        backend="thread", max_workers=1, chaos=injector, retries=retries
+    )
+    return executor, injector
+
+
+def _find_mixed_seed():
+    """A seed whose failure pattern kills some but not all of 4 tasks.
+
+    Mirrors the injector's draw pattern: one draw decides the drop; a
+    surviving scan consumes four more draws (one per corruption class,
+    all at probability zero here).
+    """
+    for seed in range(100):
+        rng = np.random.default_rng(seed)
+        drops = []
+        for _ in range(4):
+            dropped = rng.random() < 0.5
+            drops.append(dropped)
+            if not dropped:
+                for _ in range(4):
+                    rng.random()
+        if any(drops) and not all(drops):
+            return seed, drops
+    raise AssertionError("no mixed seed found")
+
+
+class TestSweepSurvivesWorkerCrashes:
+    def test_failed_topologies_recorded_sweep_completes(self):
+        seed, drops = _find_mixed_seed()
+        executor, injector = _chaos_executor(0.5, seed=seed)
+        provenance = ProvenanceTracker()
+        service = TrainingService(
+            CONFIG, provenance=provenance, executor=executor
+        )
+        runs = service.train_all(TOPOLOGIES, _dataset(), sweep_name="chaos")
+
+        expected_dead = {
+            TOPOLOGIES[i].name for i, dropped in enumerate(drops) if dropped
+        }
+        assert {f.topology_name for f in service.failures} == expected_dead
+        assert {r.topology_name for r in runs} == {
+            t.name for t in TOPOLOGIES
+        } - expected_dead
+        for failure in service.failures:
+            assert failure.error_type == "AcquisitionError"
+            assert "dropped" in failure.message
+        # Every death is in provenance for post-mortem.
+        failed_events = provenance.find(kind="topology_failed")
+        assert {e["metadata"]["topology"] for e in failed_events} == expected_dead
+        # Selection still works over the survivors.
+        best = service.select_best()
+        assert best.topology_name not in expected_dead
+        assert injector.fault_counts["dropped_scan"] == len(expected_dead)
+
+    def test_all_tasks_dead_sweep_still_returns(self):
+        executor, _ = _chaos_executor(1.0)
+        service = TrainingService(CONFIG, executor=executor)
+        runs = service.train_all(TOPOLOGIES, _dataset(), sweep_name="chaos")
+        assert runs == []
+        assert len(service.failures) == len(TOPOLOGIES)
+        with pytest.raises(RuntimeError, match="no completed training runs"):
+            service.select_best()
+
+    def test_retries_recover_transient_crashes(self):
+        # dropped_scan=1.0 for the first wave only: a chaos hook that
+        # stops injecting after the first attempt per task models a
+        # crash-once worker; retries must recover every topology.
+        attempted = set()
+
+        def crash_once(index):
+            if index not in attempted:
+                attempted.add(index)
+                raise RuntimeError(f"worker crashed on task {index}")
+
+        executor = ParallelExecutor(
+            backend="thread", max_workers=1, chaos=crash_once, retries=1
+        )
+        service = TrainingService(CONFIG, executor=executor)
+        runs = service.train_all(TOPOLOGIES, _dataset(), sweep_name="chaos")
+        assert service.failures == []
+        assert len(runs) == len(TOPOLOGIES)
+
+    def test_chaos_run_results_match_clean_run_for_survivors(self):
+        """A surviving topology's model must be unaffected by the chaos."""
+        seed, drops = _find_mixed_seed()
+        dataset = _dataset()
+        clean = TrainingService(CONFIG)
+        clean.train_all(TOPOLOGIES, dataset)
+        clean_by_name = {r.topology_name: r for r in clean.runs}
+
+        executor, _ = _chaos_executor(0.5, seed=seed)
+        chaotic = TrainingService(CONFIG, executor=executor)
+        chaotic.train_all(TOPOLOGIES, dataset, sweep_name="chaos")
+        assert chaotic.runs  # mixed seed guarantees survivors
+        for run in chaotic.runs:
+            ref = clean_by_name[run.topology_name]
+            assert run.metrics == ref.metrics
+            for got, want in zip(
+                run.model.get_weights(), ref.model.get_weights()
+            ):
+                np.testing.assert_array_equal(got, want)
+
+
+class TestSearchSurvivesWorkerCrashes:
+    def test_search_completes_and_skips_dead_candidates(self):
+        from repro.core.topology_search import ExplorativeSearch
+
+        rng = np.random.default_rng(0)
+        outputs, length = 3, 64
+        y = rng.dirichlet(np.ones(outputs), size=50)
+        x = y @ rng.random((outputs, length)) + 0.01 * rng.random((50, length))
+        dataset = SpectraDataset(
+            x, y, tuple(f"c{i}" for i in range(outputs))
+        )
+        injector = FaultInjector(
+            lambda index: np.zeros(4),
+            FaultConfig(dropped_scan=0.4),
+            seed=3,
+        )
+        executor = ParallelExecutor(
+            backend="thread", max_workers=1, chaos=injector
+        )
+        search = ExplorativeSearch(
+            n_outputs=outputs,
+            input_length=length,
+            target_mae=1e-9,  # unreachable: exercise the full loop
+            config=TrainingConfig(epochs=1, batch_size=16, patience=None),
+            max_rounds=2,
+            candidates_per_round=3,
+            executor=executor,
+        )
+        result = search.run(dataset)
+        assert injector.fault_counts.get("dropped_scan", 0) > 0
+        assert result.best_spec is not None
+        assert np.isfinite(result.best_metric)
