@@ -11,6 +11,18 @@ adds and how it behaves past saturation:
 (c) overload: offered load beyond queue capacity must be *shed* with
     explicit ``queue_full`` rejections while goodput stays near the
     saturated service rate (no collapse, no hang);
+(e) micro-batching: the same load through a batched service
+    (:class:`~repro.serving.BatchingPolicy` +
+    ``batch_analyzer_from_model``) — coalescing must claw back most of
+    the per-request serving overhead (target: within ~2x of the bare
+    model) while keeping results byte-identical to the reference
+    batched forward pass;
+(f) offered-vs-achieved load sweep: paced offered load at 0.5x / 1x /
+    2x of the measured batched capacity against a brownout-governed
+    service.  Reported per level: goodput (completed/s), shed rate,
+    p50/p95/p99, brownout transitions.  The shape that matters: at 2x
+    overload goodput must *plateau*, not collapse — excess load is shed
+    explicitly while the service keeps serving near capacity.
 (d) telemetry cost: the same load against a fully *enabled* metrics
     registry + tracer and against *disabled* ones.  The comparison runs
     at the paper's real-time operating point (a network sized so one
@@ -35,7 +47,12 @@ import pytest
 
 from repro import nn
 from repro.observability import Histogram, MetricsRegistry, Tracer
-from repro.serving import AnalysisService
+from repro.serving import (
+    AnalysisService,
+    BatchingPolicy,
+    BrownoutGovernor,
+    batch_analyzer_from_model,
+)
 
 from conftest import print_table, scale, write_results
 
@@ -133,6 +150,56 @@ def throughput():
     for workers in (1, 2):
         rows.append(run_service(workers, "service", f"svc{workers}"))
 
+    # (e) micro-batched service: queued requests coalesce into one
+    # batched forward pass.  Results must be byte-identical to the
+    # reference batched predict on the same rows.
+    reference = batch_analyzer_from_model(model)(spectra)
+
+    def run_batched(workers):
+        service = AnalysisService(
+            analyzer,
+            workers=workers,
+            queue_size=64,
+            default_deadline_s=30.0,
+            expected_length=LENGTH,
+            name=f"batched{workers}",
+            registry=MetricsRegistry(),
+            batching=BatchingPolicy(max_batch=32, max_wait_s=0.0005),
+            batch_analyzer=batch_analyzer_from_model(model),
+        )
+        with service:
+            start = time.perf_counter()
+            pending = []
+            for row in spectra:
+                request = service.submit(row)
+                pending.append(request)
+                if len(pending) % 64 == 0:
+                    pending[-64].result(timeout=30.0)
+            results = [p.result(timeout=30.0) for p in pending]
+            elapsed = time.perf_counter() - start
+            stats = service.stats()
+        completed = sum(1 for r in results if r.ok)
+        identical = all(
+            r.value.tobytes() == reference[i].tobytes()
+            for i, r in enumerate(results)
+            if r.ok
+        )
+        latency = stats["latency_s"].get("completed", {})
+        return {
+            "mode": "batched",
+            "workers": workers,
+            "requests": n_requests,
+            "completed": completed,
+            "shed": sum(1 for r in results if not r.ok),
+            "throughput_rps": completed / elapsed,
+            "p50_ms": 1000 * latency["p50"] if latency else None,
+            "p95_ms": 1000 * latency["p95"] if latency else None,
+            "p99_ms": 1000 * latency["p99"] if latency else None,
+        }, identical, stats["batching"]
+
+    batched_row, batched_identical, batched_stats = run_batched(1)
+    rows.append(batched_row)
+
     # (d) telemetry fully on vs fully off at the real-time operating
     # point (isolated registry/tracer instances, so neither run touches
     # the process-global ones).  The wide network stands in for a
@@ -213,16 +280,96 @@ def throughput():
             "throughput_rps": completed / elapsed,
         }
     )
-    return rows, results
+
+    # (f) offered-vs-achieved sweep against a brownout-governed batched
+    # service.  Offered load is paced open-loop in 2 ms ticks (sub-tick
+    # inter-arrival times are below sleep granularity); submit() never
+    # blocks, so the bounded queue — not the client — absorbs overload.
+    capacity_rps = batched_row["throughput_rps"]
+    sweep_n = scale(400, 4000)
+    sweep_rows = []
+
+    def run_sweep_level(offered_factor):
+        offered_rps = offered_factor * capacity_rps
+        governor = BrownoutGovernor(levels=BrownoutGovernor.default_levels())
+        service = AnalysisService(
+            analyzer,
+            workers=2,
+            queue_size=64,
+            default_deadline_s=0.5,
+            expected_length=LENGTH,
+            name=f"sweep{offered_factor:g}x",
+            registry=MetricsRegistry(),
+            batching=BatchingPolicy(max_batch=32, max_wait_s=0.0005),
+            batch_analyzer=batch_analyzer_from_model(model),
+            governor=governor,
+        )
+        tick_s = 0.002
+        per_tick = max(1, int(round(offered_rps * tick_s)))
+        with service:
+            start = time.perf_counter()
+            pending = []
+            submitted = 0
+            tick = 0
+            while submitted < sweep_n:
+                tick += 1
+                for _ in range(min(per_tick, sweep_n - submitted)):
+                    pending.append(
+                        service.submit(spectra[submitted % n_requests])
+                    )
+                    submitted += 1
+                remaining = start + tick * tick_s - time.perf_counter()
+                if remaining > 0:
+                    time.sleep(remaining)
+            results = [p.result(timeout=30.0) for p in pending]
+            elapsed = time.perf_counter() - start
+            stats = service.stats()
+        completed = sum(1 for r in results if r.ok)
+        latency = stats["latency_s"].get("completed", {})
+        return {
+            "offered_x": offered_factor,
+            "offered_rps": offered_rps,
+            "achieved_rps": submitted / elapsed,
+            "goodput_rps": completed / elapsed,
+            "requests": sweep_n,
+            "completed": completed,
+            "shed": sum(1 for r in results if not r.ok),
+            "shed_rate": sum(1 for r in results if not r.ok) / sweep_n,
+            "p50_ms": 1000 * latency["p50"] if latency else None,
+            "p95_ms": 1000 * latency["p95"] if latency else None,
+            "p99_ms": 1000 * latency["p99"] if latency else None,
+            "brownout_transitions": stats["brownout"]["transitions"],
+            "brownout_peak": max(
+                (t.to_level for t in governor.transitions), default=0
+            ),
+        }
+
+    for factor in (0.5, 1.0, 2.0):
+        sweep_rows.append(run_sweep_level(factor))
+
+    extras = {
+        "batched_identical": batched_identical,
+        "batched_stats": batched_stats,
+        "direct_rps": rows[0]["throughput_rps"],
+        "sweep_rows": sweep_rows,
+    }
+    return rows, results, extras
 
 
 def test_serving_throughput(throughput):
-    rows, burst_results = throughput
+    rows, burst_results, extras = throughput
     print_table(
         "serving throughput (requests/s)",
         rows,
         ["mode", "workers", "requests", "completed", "shed",
          "throughput_rps", "p50_ms", "p95_ms", "p99_ms"],
+    )
+    print_table(
+        "offered-vs-achieved load sweep (batched + brownout governor)",
+        extras["sweep_rows"],
+        ["offered_x", "offered_rps", "achieved_rps", "goodput_rps",
+         "shed_rate", "p50_ms", "p95_ms", "p99_ms",
+         "brownout_transitions", "brownout_peak"],
     )
 
     by_mode = {}
@@ -239,12 +386,23 @@ def test_serving_throughput(throughput):
           " (design target < 5% at the ~0.5 ms operating point)")
     print(f"per-request telemetry cost: {per_request_us:+.1f} us "
           "(4 spans + ~8 metric updates)")
+    batched = by_mode["batched"][0]
+    direct = by_mode["direct"][0]
+    batched_ratio = batched["throughput_rps"] / direct["throughput_rps"]
+    print(f"batched service vs bare model: {100 * batched_ratio:.1f}% of "
+          "direct throughput (design target: within ~2x, i.e. > 50%)")
+    print(f"batched outputs byte-identical to reference forward pass: "
+          f"{extras['batched_identical']}")
     write_results(
         "serving_throughput",
         {
             "rows": rows,
             "telemetry_overhead_fraction": overhead,
             "telemetry_cost_us_per_request": per_request_us,
+            "batched_vs_direct_throughput_ratio": batched_ratio,
+            "batched_identical_to_reference": extras["batched_identical"],
+            "batched_stats": extras["batched_stats"],
+            "load_sweep": extras["sweep_rows"],
         },
     )
 
@@ -270,3 +428,27 @@ def test_serving_throughput(throughput):
         assert result is not None
         if not result.ok:
             assert result.reason == "queue_full"
+
+    # Micro-batching: everything completes, coalescing actually happened,
+    # answers are byte-identical, and throughput is within ~2x of the
+    # bare model (generous 3x guard for CI noise; the headline ratio is
+    # reported above and persisted in the results file).
+    assert batched["completed"] == batched["requests"]
+    assert extras["batched_identical"], (
+        "batched results are not byte-identical to the reference pass"
+    )
+    assert extras["batched_stats"]["batches"] < batched["requests"], (
+        "no coalescing happened: one batch per request"
+    )
+    assert batched["throughput_rps"] > direct["throughput_rps"] / 3.0
+
+    # Load sweep: goodput must plateau past saturation, not collapse.
+    sweep = {row["offered_x"]: row for row in extras["sweep_rows"]}
+    for row in extras["sweep_rows"]:
+        assert row["completed"] + row["shed"] == row["requests"]
+        assert row["goodput_rps"] > 0
+    # At 2x overload the service sheds rather than queueing unboundedly,
+    # and keeps serving at a healthy fraction of its 1x goodput.
+    assert sweep[2.0]["goodput_rps"] > 0.25 * sweep[1.0]["goodput_rps"], (
+        "goodput collapsed at 2x overload"
+    )

@@ -21,7 +21,15 @@ Every request is traced and counted by the observability layer; pass
 ``--telemetry-dir DIR`` to export the collected spans and metric series as
 JSONL (render them with ``python -m repro.cli telemetry --spans ...``).
 
-Run:  python examples/hardened_serving.py [--telemetry-dir DIR]
+With ``--batched`` the service additionally coalesces queued requests
+into batched forward passes (:class:`~repro.serving.BatchingPolicy`) and
+runs a :class:`~repro.serving.BrownoutGovernor`: under the burst in step
+3 the governor escalates through its degradation levels (grow batches →
+tighten deadlines → shed low-priority work) and the live transitions
+show up both on stdout and as ``serving.brownout`` spans in the
+telemetry dump.
+
+Run:  python examples/hardened_serving.py [--batched] [--telemetry-dir DIR]
 """
 
 import argparse
@@ -38,7 +46,13 @@ from repro.observability import (
     get_registry,
     get_tracer,
 )
-from repro.serving import AnalysisService, CircuitBreaker
+from repro.serving import (
+    AnalysisService,
+    BatchingPolicy,
+    BrownoutGovernor,
+    CircuitBreaker,
+    batch_analyzer_from_model,
+)
 
 LENGTH = 64
 COMPOUNDS = ("N2", "O2", "CO2")
@@ -67,11 +81,18 @@ class Backend:
     def __init__(self, model):
         self.model = model
         self.healthy = True
+        self._batched = batch_analyzer_from_model(model)
 
     def __call__(self, data):
         if not self.healthy:
             raise RuntimeError("analyzer backend offline")
         return self.model.predict(data[None, :], validate=False)[0]
+
+    def batch(self, matrix):
+        """Batched entry point for ``--batched`` — same outage switch."""
+        if not self.healthy:
+            raise RuntimeError("analyzer backend offline")
+        return self._batched(matrix)
 
 
 def main(argv=None):
@@ -80,11 +101,21 @@ def main(argv=None):
         "--telemetry-dir",
         help="export collected spans/metrics as JSONL into this directory",
     )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="coalesce queued requests into batched forward passes and "
+             "run the brownout load governor",
+    )
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(0)
     print("training the analyzer network ...")
     backend = Backend(make_network(rng))
+
+    governor = None
+    if args.batched:
+        governor = BrownoutGovernor(levels=BrownoutGovernor.default_levels())
 
     breaker = CircuitBreaker(failure_threshold=3, recovery_time_s=0.3)
     service = AnalysisService(
@@ -94,7 +125,24 @@ def main(argv=None):
         default_deadline_s=0.5,
         expected_length=LENGTH,
         breaker=breaker,
+        batching=BatchingPolicy(max_batch=16) if args.batched else None,
+        batch_analyzer=backend.batch if args.batched else None,
+        governor=governor,
     )
+
+    if governor is not None:
+        # The service wired governor.on_transition to its own handler
+        # (gauge + span).  Wrap it so level changes also print live.
+        record_transition = governor.on_transition
+
+        def announce(transition):
+            names = [level.name for level in governor.levels]
+            print(f"    [brownout] {names[transition.from_level]!r} -> "
+                  f"{names[transition.to_level]!r} "
+                  f"(queue fill {transition.queue_fill:.2f})")
+            record_transition(transition)
+
+        governor.on_transition = announce
 
     with service:
         # 1 -- normal concurrent traffic.
@@ -146,6 +194,14 @@ def main(argv=None):
     p95 = stats["latency_s"].get("completed", {}).get("p95")
     if p95 is not None:
         print(f"completed-request latency p95: {1000 * p95:.2f} ms")
+    if args.batched:
+        batching = stats["batching"]
+        brownout = stats["brownout"]
+        print(f"batching: {batching['batched_requests']} requests coalesced "
+              f"into {batching['batches']} batches "
+              f"(mean size {batching['mean_batch_size']:.1f})")
+        print(f"brownout: {brownout['transitions']} level transitions, "
+              f"currently {brownout['name']!r}")
 
     if args.telemetry_dir:
         os.makedirs(args.telemetry_dir, exist_ok=True)

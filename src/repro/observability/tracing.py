@@ -47,6 +47,7 @@ class Span:
         "end_time",
         "status",
         "attributes",
+        "events",
         "_tracer",
     )
 
@@ -68,12 +69,33 @@ class Span:
         self.end_time: Optional[float] = None
         self.status = STATUS_UNSET
         self.attributes: Dict[str, object] = dict(attributes or {})
+        self.events: List[dict] = []
         self._tracer = tracer
 
     # -- recording ---------------------------------------------------------
 
     def set_attribute(self, key: str, value) -> "Span":
         self.attributes[key] = value
+        return self
+
+    def add_event(
+        self, name: str, attributes: Optional[Dict[str, object]] = None
+    ) -> "Span":
+        """Record a timestamped point event inside this span.
+
+        Events narrate moments a whole child span would be too heavy for
+        — a brownout level change, a retry fired, a fallback taken.  The
+        timestamp comes from the owning tracer's clock; events survive
+        into :meth:`to_dict` and the JSONL export.
+        """
+        tracer = self._tracer
+        self.events.append(
+            {
+                "name": name,
+                "time": tracer.clock() if tracer is not None else self.start_time,
+                "attributes": dict(attributes or {}),
+            }
+        )
         return self
 
     def set_status(self, status: str) -> "Span":
@@ -125,6 +147,7 @@ class Span:
             "duration_s": self.duration,
             "status": self.status,
             "attributes": dict(self.attributes),
+            "events": [dict(event) for event in self.events],
         }
 
     def __repr__(self) -> str:
@@ -146,10 +169,14 @@ class _NullSpan:
     end_time = 0.0
     status = STATUS_UNSET
     attributes: Dict[str, object] = {}
+    events: List[dict] = []
     ended = True
     duration = 0.0
 
     def set_attribute(self, key, value):
+        return self
+
+    def add_event(self, name, attributes=None):
         return self
 
     def set_status(self, status):

@@ -34,6 +34,17 @@ class RetryExhaustedError(AcquisitionError):
 class RetryPolicy:
     """Bounded retries with exponential backoff and seeded jitter.
 
+    ``jitter_mode`` picks how the seeded jitter perturbs the backoff:
+
+    * ``"scaled"`` (the default) multiplies the raw exponential delay by
+      ``1 ± jitter`` — small symmetric noise around the schedule;
+    * ``"full"`` draws the delay uniformly from ``[0, raw]`` (AWS-style
+      full jitter).  Scaled jitter keeps concurrent workers that failed
+      together *clustered*: they all retry near the same instant and hit
+      the backend as a synchronized retry storm, wave after wave.  Full
+      jitter spreads the same workers across the whole backoff window,
+      so the recovering backend sees a trickle instead of spikes.
+
     ``deadline_s`` is an optional total time budget per :meth:`call`,
     measured by the injectable ``clock`` from the first attempt: once the
     budget would be exhausted by the elapsed time plus the next backoff
@@ -48,6 +59,7 @@ class RetryPolicy:
         backoff: float = 2.0,
         max_delay: float = 30.0,
         jitter: float = 0.1,
+        jitter_mode: str = "scaled",
         retry_on: Tuple[Type[BaseException], ...] = (AcquisitionError,),
         sleep: Callable[[float], None] = time.sleep,
         seed: int = 0,
@@ -63,6 +75,10 @@ class RetryPolicy:
             raise ValueError("backoff must be >= 1.0")
         if not 0.0 <= jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if jitter_mode not in ("scaled", "full"):
+            raise ValueError(
+                f"jitter_mode must be 'scaled' or 'full', got {jitter_mode!r}"
+            )
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
         self.max_attempts = int(max_attempts)
@@ -70,6 +86,7 @@ class RetryPolicy:
         self.backoff = float(backoff)
         self.max_delay = float(max_delay)
         self.jitter = float(jitter)
+        self.jitter_mode = str(jitter_mode)
         self.retry_on = tuple(retry_on)
         self.sleep = sleep
         self.deadline_s = float(deadline_s) if deadline_s is not None else None
@@ -94,6 +111,8 @@ class RetryPolicy:
         if attempt < 1:
             raise ValueError("attempt must be >= 1")
         raw = min(self.base_delay * self.backoff ** (attempt - 1), self.max_delay)
+        if self.jitter_mode == "full":
+            return float(self._rng.uniform(0.0, raw))
         if self.jitter == 0.0:
             return raw
         return raw * (1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0)))

@@ -11,13 +11,25 @@ hold under load and failure:
   frontend with a bounded request queue, per-request deadlines, admission
   validation (via :mod:`repro.reliability.validation`), an output
   finiteness gate, and explicit :class:`Rejected` results for every shed
-  or failed request.
+  or failed request;
+* :mod:`repro.serving.batching` — the batched fast path's control
+  plane: :class:`BatchingPolicy` (adaptive coalescing: dispatch when the
+  batch fills or a load-shrinking max-wait expires) and
+  :class:`BrownoutGovernor` (declared degradation levels — grow batches,
+  tighten deadlines, shed low-priority work — walked with hysteresis).
 
 Layering: ``serving`` sits above ``reliability`` and below nothing — it
 may be driven by any analyzer callable (ANN, IHM, or a
 :class:`~repro.reliability.degradation.GuardedAnalyzer` ladder).
 """
 
+from repro.serving.batching import (
+    BatchingPolicy,
+    BrownoutGovernor,
+    BrownoutLevel,
+    BrownoutTransition,
+    batch_analyzer_from_model,
+)
 from repro.serving.circuit import (
     CLOSED,
     HALF_OPEN,
@@ -36,7 +48,12 @@ from repro.serving.service import (
 __all__ = [
     "AnalysisService",
     "analyzer_from_checkpoint",
+    "batch_analyzer_from_model",
     "load_verified_model",
+    "BatchingPolicy",
+    "BrownoutGovernor",
+    "BrownoutLevel",
+    "BrownoutTransition",
     "CLOSED",
     "CircuitBreaker",
     "CircuitTransition",

@@ -1,0 +1,321 @@
+"""Micro-batching policy and brownout governor for the serving layer.
+
+The queue in front of :class:`~repro.serving.service.AnalysisService` is
+an opportunity, not just overhead: the NumPy forward passes behind the
+analyzer are batch-vectorized, so N queued spectra cost far less as one
+``Sequential.predict`` call than as N.  This module holds the two control
+components the batched service mode runs on:
+
+* :class:`BatchingPolicy` — how many requests a worker may coalesce into
+  one dispatch and how long it may hold the first request open waiting
+  for batchmates.  The max-wait *shrinks* as the queue fills: a deep
+  queue fills a batch instantly, so holding adds latency for nothing,
+  while an idle service dispatches a lone request after at most
+  ``max_wait_s``.
+* :class:`BrownoutGovernor` — a load governor that watches queue depth
+  and completed-request p95 latency and walks the service through
+  declared :class:`BrownoutLevel` degradation steps (grow batches →
+  tighten admission deadlines → shed low-priority work) with hysteresis:
+  levels are entered immediately when a signal crosses its threshold and
+  left one step at a time only after the signals have stayed below the
+  exit threshold for a hold period, so the service does not flap at the
+  boundary.
+
+:func:`batch_analyzer_from_model` builds the batched backend callable
+with the byte-identity guarantee the service's contract needs: BLAS
+dispatches a single-row matmul to a different kernel (gemv) than a
+multi-row one (gemm), which perturbs the last ulp, so a batch of one is
+padded to two rows before the forward pass.  Every row then takes the
+gemm path and a spectrum's answer is bit-for-bit independent of which
+batch it happened to ride in.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BatchingPolicy",
+    "BrownoutLevel",
+    "BrownoutTransition",
+    "BrownoutGovernor",
+    "batch_analyzer_from_model",
+]
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Coalescing limits for the batched worker loop.
+
+    ``max_batch`` bounds one dispatch; ``max_wait_s`` is the longest a
+    worker holds the first dequeued request open for batchmates, and the
+    effective wait decays linearly to ``min_wait_s`` as the queue fills
+    (see :meth:`wait_for`).
+    """
+
+    max_batch: int = 32
+    max_wait_s: float = 0.002
+    min_wait_s: float = 0.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0 or self.min_wait_s < 0:
+            raise ValueError("waits must be non-negative")
+        if self.min_wait_s > self.max_wait_s:
+            raise ValueError("min_wait_s must not exceed max_wait_s")
+
+    def wait_for(self, queue_depth: int, queue_size: int) -> float:
+        """Adaptive hold time: shrinks toward ``min_wait_s`` under load."""
+        if queue_size <= 0:
+            return self.max_wait_s
+        fill = min(max(queue_depth / queue_size, 0.0), 1.0)
+        return self.min_wait_s + (self.max_wait_s - self.min_wait_s) * (
+            1.0 - fill
+        )
+
+    def cap_for(self, growth: float = 1.0) -> int:
+        """Batch-size cap under a brownout growth factor (>= 1 request)."""
+        return max(1, int(math.ceil(self.max_batch * float(growth))))
+
+
+@dataclass(frozen=True)
+class BrownoutLevel:
+    """One declared degradation step.
+
+    A level activates when queue fill reaches ``enter_fill`` *or*
+    completed-request p95 reaches ``enter_p95_s``.  Its knobs state the
+    full service posture at that level (levels do not stack):
+
+    * ``batch_growth`` — multiplier on ``BatchingPolicy.max_batch``;
+    * ``deadline_factor`` — multiplier on admission deadlines;
+    * ``min_priority`` — requests with a lower ``priority`` are refused
+      at admission as ``Rejected("brownout_shed")``; ``None`` sheds
+      nothing.
+    """
+
+    name: str
+    enter_fill: float = math.inf
+    enter_p95_s: float = math.inf
+    batch_growth: float = 1.0
+    deadline_factor: float = 1.0
+    min_priority: Optional[int] = None
+
+    def __post_init__(self):
+        if self.batch_growth < 1.0:
+            raise ValueError("batch_growth must be >= 1.0")
+        if not 0.0 < self.deadline_factor <= 1.0:
+            raise ValueError("deadline_factor must be in (0, 1]")
+
+
+# The normal-operation posture (level 0).
+_LEVEL_0 = BrownoutLevel(name="normal")
+
+
+@dataclass(frozen=True)
+class BrownoutTransition:
+    """One governor level change, for post-mortem analysis."""
+
+    at: float
+    from_level: int
+    to_level: int
+    queue_fill: float
+    p95_s: Optional[float]
+
+
+class BrownoutGovernor:
+    """Hysteretic level walker over queue depth and p95 latency.
+
+    ``observe(fill, p95_s)`` is the only input; it returns the current
+    level index (0 = normal).  Escalation is immediate — the highest
+    level whose enter threshold is crossed wins.  De-escalation is one
+    level at a time and only after both signals have stayed below
+    ``hysteresis`` × the current level's enter thresholds for
+    ``hold_s`` seconds of the injectable ``clock``.
+
+    ``maybe_observe`` is the rate-limited form for hot paths: it samples
+    at most every ``sample_interval_s`` and takes a zero-argument
+    ``p95_fn`` so the (comparatively expensive) histogram read only
+    happens on actual samples.
+    """
+
+    def __init__(
+        self,
+        levels: Optional[Sequence[BrownoutLevel]] = None,
+        hysteresis: float = 0.75,
+        hold_s: float = 0.25,
+        sample_interval_s: float = 0.02,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[BrownoutTransition], None]] = None,
+    ):
+        self.levels: List[BrownoutLevel] = [_LEVEL_0] + list(
+            levels if levels is not None else self.default_levels()
+        )
+        if not 0.0 < hysteresis <= 1.0:
+            raise ValueError("hysteresis must be in (0, 1]")
+        if hold_s < 0 or sample_interval_s < 0:
+            raise ValueError("hold_s and sample_interval_s must be >= 0")
+        self.hysteresis = float(hysteresis)
+        self.hold_s = float(hold_s)
+        self.sample_interval_s = float(sample_interval_s)
+        self.clock = clock
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._level = 0
+        self._below_since: Optional[float] = None
+        self._last_sample = -math.inf
+        self.transitions: List[BrownoutTransition] = []
+
+    @staticmethod
+    def default_levels() -> List[BrownoutLevel]:
+        """The declared ladder from the design: grow → tighten → shed."""
+        return [
+            BrownoutLevel(
+                name="grow_batch", enter_fill=0.50, batch_growth=2.0
+            ),
+            BrownoutLevel(
+                name="tighten_deadlines",
+                enter_fill=0.75,
+                batch_growth=2.0,
+                deadline_factor=0.5,
+            ),
+            BrownoutLevel(
+                name="shed_low_priority",
+                enter_fill=0.90,
+                batch_growth=2.0,
+                deadline_factor=0.5,
+                min_priority=0,
+            ),
+        ]
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    @property
+    def active(self) -> BrownoutLevel:
+        with self._lock:
+            return self.levels[self._level]
+
+    # -- observation -------------------------------------------------------
+
+    def _target_for(self, fill: float, p95_s: Optional[float]) -> int:
+        target = 0
+        for index, level in enumerate(self.levels[1:], start=1):
+            if fill >= level.enter_fill or (
+                p95_s is not None and p95_s >= level.enter_p95_s
+            ):
+                target = index
+        return target
+
+    def _calm_below(self, level_index: int, fill: float,
+                    p95_s: Optional[float]) -> bool:
+        """Are both signals under the exit threshold of ``level_index``?"""
+        level = self.levels[level_index]
+        if math.isfinite(level.enter_fill):
+            if fill >= self.hysteresis * level.enter_fill:
+                return False
+        if math.isfinite(level.enter_p95_s) and p95_s is not None:
+            if p95_s >= self.hysteresis * level.enter_p95_s:
+                return False
+        return True
+
+    def observe(self, fill: float, p95_s: Optional[float] = None) -> int:
+        fill = float(fill)
+        now = float(self.clock())
+        with self._lock:
+            target = self._target_for(fill, p95_s)
+            if target > self._level:
+                self._shift(target, now, fill, p95_s)
+            elif self._level > 0 and target < self._level:
+                if self._calm_below(self._level, fill, p95_s):
+                    if self._below_since is None:
+                        self._below_since = now
+                    elif now - self._below_since >= self.hold_s:
+                        # One step down per hold period — no cliff dives.
+                        self._shift(self._level - 1, now, fill, p95_s)
+                else:
+                    self._below_since = None
+            else:
+                self._below_since = None
+            return self._level
+
+    def maybe_observe(
+        self,
+        fill: float,
+        p95_fn: Optional[Callable[[], Optional[float]]] = None,
+    ) -> int:
+        now = float(self.clock())
+        with self._lock:
+            if now - self._last_sample < self.sample_interval_s:
+                return self._level
+            self._last_sample = now
+        p95_s = p95_fn() if p95_fn is not None else None
+        return self.observe(fill, p95_s)
+
+    def _shift(self, to_level: int, now: float, fill: float,
+               p95_s: Optional[float]) -> None:
+        transition = BrownoutTransition(
+            at=now,
+            from_level=self._level,
+            to_level=to_level,
+            queue_fill=fill,
+            p95_s=p95_s,
+        )
+        self.transitions.append(transition)
+        self._level = to_level
+        self._below_since = None
+        if self.on_transition is not None:
+            self.on_transition(transition)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state for ``AnalysisService.stats()``."""
+        with self._lock:
+            level = self._level
+            transitions = len(self.transitions)
+        return {
+            "level": level,
+            "name": self.levels[level].name,
+            "deadline_factor": self.levels[level].deadline_factor,
+            "min_priority": self.levels[level].min_priority,
+            "batch_growth": self.levels[level].batch_growth,
+            "transitions": transitions,
+        }
+
+
+def batch_analyzer_from_model(model, validate: bool = False) -> Callable:
+    """A ``batch_analyzer(matrix) -> (n, outputs)`` over a Sequential.
+
+    Pads a batch of one to two rows before the forward pass so every row
+    takes BLAS's multi-row (gemm) kernel: single-row matmuls dispatch to
+    gemv, which differs in the last ulp, and the service's contract is
+    that a spectrum's answer is byte-identical no matter how it was
+    coalesced.
+
+    The remaining ingredient — row-wise results not depending on *how
+    many* other rows share the gemm call — is a property of the BLAS
+    build and the layer shapes.  It holds for every shape this repo's
+    tests and benches exercise (asserted byte-for-byte there), but a
+    blocked/threaded kernel switch at some batch size can break it for
+    other shapes; if bit-reproducibility across batch sizes matters for
+    a new model, probe it the way ``TestByteIdentity`` does before
+    relying on it.
+    """
+
+    def batch_analyzer(matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape[0] == 1:
+            padded = np.concatenate([matrix, matrix], axis=0)
+            return model.predict(padded, validate=validate)[:1]
+        return model.predict(matrix, validate=validate)
+
+    return batch_analyzer

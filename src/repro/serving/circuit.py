@@ -9,9 +9,11 @@ machine:
 * **closed** — normal operation; consecutive failures are counted and
   ``failure_threshold`` of them in a row open the circuit;
 * **open** — every call is refused outright for ``recovery_time_s``;
-* **half-open** — after the cooldown, up to ``half_open_probes`` probe
-  calls are let through; all succeeding closes the circuit, any failing
-  reopens it (and restarts the cooldown).
+* **half-open** — after the cooldown, probe calls are let through *one
+  at a time* (a probe must report back before the next is admitted, so a
+  burst of waiting workers cannot stampede a barely-recovered backend);
+  ``half_open_probes`` of them succeeding closes the circuit, any one
+  failing reopens it (and restarts the cooldown).
 
 Time comes from an injectable monotonic ``clock`` so tests drive the
 state machine deterministically.  All methods are safe to call from
@@ -79,6 +81,7 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probes_issued = 0
         self._probe_successes = 0
+        self._probe_inflight = False
         self.transitions: List[CircuitTransition] = []
 
     # -- state -------------------------------------------------------------
@@ -113,24 +116,37 @@ class CircuitBreaker:
             self._transition(HALF_OPEN, "cooldown elapsed")
             self._probes_issued = 0
             self._probe_successes = 0
+            self._probe_inflight = False
 
     # -- the protocol ------------------------------------------------------
 
     def allow(self) -> bool:
-        """May a call proceed right now?  Half-open consumes a probe slot."""
+        """May a call proceed right now?  Half-open consumes a probe slot.
+
+        In half-open at most *one* probe is in flight at a time: the
+        slot frees only when :meth:`record_success` or
+        :meth:`record_failure` reports the probe's outcome.  Without
+        this, every worker blocked on a cooling-down backend is released
+        at once when the cooldown lapses — a probe stampede into a
+        backend that has barely recovered.
+        """
         with self._lock:
             self._maybe_enter_half_open()
             if self._state == OPEN:
                 return False
             if self._state == HALF_OPEN:
+                if self._probe_inflight:
+                    return False
                 if self._probes_issued >= self.half_open_probes:
                     return False
                 self._probes_issued += 1
+                self._probe_inflight = True
             return True
 
     def record_success(self) -> None:
         with self._lock:
             if self._state == HALF_OPEN:
+                self._probe_inflight = False
                 self._probe_successes += 1
                 if self._probe_successes >= self.half_open_probes:
                     self._transition(CLOSED, "probe(s) succeeded")
@@ -141,6 +157,7 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         with self._lock:
             if self._state == HALF_OPEN:
+                self._probe_inflight = False
                 self._open("probe failed")
                 return
             self._consecutive_failures += 1
@@ -162,3 +179,4 @@ class CircuitBreaker:
             if self._state != CLOSED:
                 self._transition(CLOSED, "manual reset")
             self._consecutive_failures = 0
+            self._probe_inflight = False

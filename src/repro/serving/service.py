@@ -16,11 +16,31 @@ Every request terminates in exactly one of two explicit results:
 * :class:`Rejected` — with a machine-readable ``reason`` naming which
   defence fired (``queue_full``, ``deadline_*``, ``circuit_open``,
   ``invalid_input``, ``analyzer_error``, ``nonfinite_output``,
-  ``shutdown``).
+  ``brownout_shed``, ``shutdown``).
 
 There is no third outcome and no hang: the chaos test drives the service
 with malformed spectra, slow analyzers and burst load concurrently and
 asserts exactly this.
+
+Two opt-in control layers ride on the same contract:
+
+* **Micro-batching** (pass ``batching=BatchingPolicy(...)``): workers
+  coalesce queued requests into one batched analyzer call — dispatching
+  when the batch fills *or* an adaptive max-wait expires — with every
+  defence re-applied per row: deadlines are re-checked at batch drain
+  (an expired request gets ``deadline_exceeded``, never a stale answer),
+  validation failures reject only their own row, and a failed batch call
+  falls back to single-row retries so one poisoned request cannot take
+  down its batchmates.  Coalescing never changes answers: the batch
+  analyzer contract (see
+  :func:`~repro.serving.batching.batch_analyzer_from_model`) keeps a
+  row's output byte-identical however it was batched.
+* **Brownout degradation** (pass ``governor=BrownoutGovernor(...)``):
+  queue depth and completed-request p95 walk the service through
+  declared degradation levels — grow batches, tighten admission
+  deadlines, shed low-priority work — with hysteresis, surfaced in
+  :meth:`AnalysisService.stats` and traced as ``serving.brownout`` span
+  events.
 """
 
 from __future__ import annotations
@@ -29,6 +49,7 @@ import itertools
 import queue
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -38,9 +59,17 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.runtime import get_registry, get_tracer
 from repro.observability.tracing import Tracer
 from repro.reliability.validation import ValidationError, validate_spectrum
+from repro.serving.batching import (
+    BatchingPolicy,
+    BrownoutGovernor,
+    BrownoutTransition,
+)
 from repro.serving.circuit import CircuitBreaker
 
 __all__ = ["Completed", "Rejected", "PendingRequest", "AnalysisService"]
+
+# Batch-size distribution buckets (requests per dispatch, not seconds).
+_BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 @dataclass(frozen=True)
@@ -80,10 +109,11 @@ class PendingRequest:
     """
 
     def __init__(self, request_id: int, data, deadline_at: float, clock,
-                 on_resolve=None):
+                 on_resolve=None, priority: int = 0):
         self.request_id = request_id
         self.data = data
         self.deadline_at = deadline_at
+        self.priority = int(priority)
         self._clock = clock
         self._enqueued_at = float(clock())
         self._resolved_at: Optional[float] = None
@@ -178,6 +208,9 @@ class AnalysisService:
         name: str = "analysis",
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        batching: Optional[BatchingPolicy] = None,
+        batch_analyzer: Optional[Callable] = None,
+        governor: Optional[BrownoutGovernor] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -185,6 +218,8 @@ class AnalysisService:
             raise ValueError("queue_size must be >= 1")
         if default_deadline_s <= 0:
             raise ValueError("default_deadline_s must be positive")
+        if batch_analyzer is not None and batching is None:
+            batching = BatchingPolicy()
         self.analyzer = analyzer
         self.workers = int(workers)
         self.queue_size = int(queue_size)
@@ -194,6 +229,11 @@ class AnalysisService:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.clock = clock
         self.name = str(name)
+        self.batching = batching
+        self.batch_analyzer = batch_analyzer
+        self.governor = governor
+        if governor is not None and governor.on_transition is None:
+            governor.on_transition = self._on_brownout
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self._m_submitted = self.registry.counter(
@@ -212,12 +252,29 @@ class AnalysisService:
         self._m_inflight = self.registry.gauge(
             "serving_inflight_requests", "requests currently in a worker"
         )
+        self._m_batches = self.registry.counter(
+            "serving_batches_total", "batched analyzer dispatches"
+        )
+        self._m_batch_size = self.registry.histogram(
+            "serving_batch_size",
+            "requests coalesced per batched dispatch",
+            buckets=_BATCH_SIZE_BUCKETS,
+        )
+        self._m_brownout = self.registry.gauge(
+            "serving_brownout_level", "current brownout degradation level"
+        )
         # Bound series: the label sets are fixed per service instance, so
         # the hot path skips the per-call label-key computation.
         self._b_submitted = self._m_submitted.labels(service=self.name)
         self._b_queue_depth = self._m_queue_depth.labels(service=self.name)
         self._b_inflight = self._m_inflight.labels(service=self.name)
+        self._b_batches = self._m_batches.labels(service=self.name)
+        self._b_batch_size = self._m_batch_size.labels(service=self.name)
+        self._b_brownout = self._m_brownout.labels(service=self.name)
         self._b_outcomes: Dict[str, tuple] = {}
+        # Every live PendingRequest, so stop() can refuse whatever a hung
+        # worker leaves unresolved instead of stranding its caller.
+        self._pending: "weakref.WeakSet[PendingRequest]" = weakref.WeakSet()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._threads: List[threading.Thread] = []
         self._ids = itertools.count()
@@ -260,9 +317,10 @@ class AnalysisService:
         if self._running:
             raise RuntimeError("service already running")
         self._running = True
+        target = self._worker_batched if self.batching is not None else self._worker
         self._threads = [
             threading.Thread(
-                target=self._worker, name=f"analysis-worker-{i}", daemon=True
+                target=target, name=f"analysis-worker-{i}", daemon=True
             )
             for i in range(self.workers)
         ]
@@ -271,7 +329,14 @@ class AnalysisService:
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Graceful drain: queued requests finish, then workers exit."""
+        """Graceful drain: queued requests finish, then workers exit.
+
+        Whatever the drain cannot resolve within ``timeout`` — requests
+        still queued behind a shutdown marker *and* requests held by a
+        worker stuck in the analyzer — is refused as
+        ``Rejected("shutdown")``, so no caller blocked in
+        :meth:`PendingRequest.result` is ever stranded by a stop.
+        """
         if not self._running:
             return
         self._running = False
@@ -300,6 +365,23 @@ class AnalysisService:
                 ),
                 parent_span=item._queue_span,
             )
+        # A worker that outlived its join timeout (analyzer hung) may
+        # still hold requests in flight; refuse them too.  resolve() is
+        # first-wins, so if the worker eventually finishes, its late
+        # result is simply dropped.
+        for request in list(self._pending):
+            if not request.resolved:
+                if request._queue_span is not None:
+                    request._queue_span.end(status="error: shutdown")
+                self._finish(
+                    request,
+                    Rejected(
+                        reason="shutdown",
+                        request_id=request.request_id,
+                        latency_s=request.latency(),
+                    ),
+                    parent_span=request._queue_span,
+                )
 
     def __enter__(self) -> "AnalysisService":
         return self.start()
@@ -309,12 +391,17 @@ class AnalysisService:
 
     # -- the public protocol ----------------------------------------------
 
-    def submit(self, intensities, deadline_s: Optional[float] = None) -> PendingRequest:
+    def submit(self, intensities, deadline_s: Optional[float] = None,
+               priority: int = 0) -> PendingRequest:
         """Enqueue one spectrum; never blocks.
 
         Load shedding happens here: a full queue resolves the request
         immediately as ``Rejected("queue_full")`` instead of making the
         caller wait behind traffic that will miss its deadline anyway.
+        Under brownout the admission deadline is tightened by the active
+        level's ``deadline_factor``, and at the deepest levels requests
+        whose ``priority`` falls below the level's ``min_priority`` are
+        refused outright as ``Rejected("brownout_shed")``.
         """
         if not self._running:
             raise RuntimeError("service is not running; call start() first")
@@ -323,13 +410,20 @@ class AnalysisService:
         )
         if deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        level = None
+        if self.governor is not None:
+            self._observe_governor()
+            level = self.governor.active
+            deadline_s *= level.deadline_factor
         request = PendingRequest(
             request_id=next(self._ids),
             data=intensities,
             deadline_at=float(self.clock()) + deadline_s,
             clock=self.clock,
             on_resolve=self._record,
+            priority=priority,
         )
+        self._pending.add(request)
         with self._stats_lock:
             self.submitted += 1
         self._b_submitted.inc()
@@ -339,6 +433,27 @@ class AnalysisService:
                         "service": self.name},
         )
         request.trace_id = submit_span.trace_id or None
+        if (
+            level is not None
+            and level.min_priority is not None
+            and request.priority < level.min_priority
+        ):
+            submit_span.set_attribute("outcome", "brownout_shed")
+            submit_span.end(status="error: brownout_shed")
+            self._finish(
+                request,
+                Rejected(
+                    reason="brownout_shed",
+                    request_id=request.request_id,
+                    detail={
+                        "level": level.name,
+                        "min_priority": level.min_priority,
+                        "priority": request.priority,
+                    },
+                ),
+                parent_span=submit_span,
+            )
+            return request
         # The queue span must be attached before the enqueue: a worker can
         # dequeue the request before put_nowait even returns.
         request._queue_span = self.tracer.start_span(
@@ -364,9 +479,12 @@ class AnalysisService:
             submit_span.end()
         return request
 
-    def analyze(self, intensities, deadline_s: Optional[float] = None):
+    def analyze(self, intensities, deadline_s: Optional[float] = None,
+                priority: int = 0):
         """Submit and wait; returns a :class:`Completed` or :class:`Rejected`."""
-        return self.submit(intensities, deadline_s=deadline_s).result()
+        return self.submit(
+            intensities, deadline_s=deadline_s, priority=priority
+        ).result()
 
     def stats(self) -> Dict[str, object]:
         """Counts plus live telemetry: queue depth, in-flight workers and
@@ -390,6 +508,17 @@ class AnalysisService:
                 **self._m_latency.percentiles(**labels),
             }
         base["latency_s"] = latency
+        if self.batching is not None:
+            batches = self._b_batches.value()
+            requests = self._m_batch_size.sum(service=self.name)
+            base["batching"] = {
+                "batches": batches,
+                "batched_requests": requests,
+                "mean_batch_size": (requests / batches) if batches else None,
+                **self._m_batch_size.percentiles(service=self.name),
+            }
+        if self.governor is not None:
+            base["brownout"] = self.governor.snapshot()
         return base
 
     # -- workers -----------------------------------------------------------
@@ -413,6 +542,344 @@ class AnalysisService:
                     ),
                 )
 
+    def _worker_batched(self) -> None:
+        """Batched worker loop: coalesce, dispatch, repeat.
+
+        Consumes exactly one shutdown marker before exiting, whether it
+        arrives between batches or mid-drain.
+        """
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            keep_running = True
+            try:
+                keep_running = self._drain_and_process(item)
+            except Exception:  # pragma: no cover - _process_batch contains
+                pass  # its own failures; this is the worker-survival net.
+            if not keep_running:
+                return
+
+    def _drain_and_process(self, first: PendingRequest) -> bool:
+        """Coalesce a batch starting at ``first``, then process it.
+
+        Returns ``False`` when a shutdown marker was consumed during the
+        drain — the worker must exit after finishing this batch.
+        """
+        self._b_queue_depth.dec()
+        keep_running = True
+        batch = [first]
+        growth = 1.0
+        if self.governor is not None:
+            self._observe_governor()
+            growth = self.governor.active.batch_growth
+        cap = self.batching.cap_for(growth)
+        hold_until = float(self.clock()) + self.batching.wait_for(
+            self._queue.qsize(), self.queue_size
+        )
+        while len(batch) < cap:
+            remaining = hold_until - float(self.clock())
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    # Wait expired: sweep whatever is already queued, but
+                    # never hold the batch open for future arrivals.
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                keep_running = False
+                break
+            self._b_queue_depth.dec()
+            batch.append(item)
+        try:
+            self._process_batch(batch)
+        except Exception as error:  # a defence itself failed: refuse all.
+            for request in batch:
+                if not request.resolved:
+                    self._finish(
+                        request,
+                        Rejected(
+                            reason="internal_error",
+                            request_id=request.request_id,
+                            latency_s=request.latency(),
+                            detail={
+                                "error": f"{type(error).__name__}: {error}"
+                            },
+                        ),
+                    )
+        return keep_running
+
+    def _process_batch(self, batch: List[PendingRequest]) -> None:
+        """Run one coalesced batch with every defence applied per row."""
+        self._b_inflight.inc()
+        try:
+            live = []
+            for request in batch:
+                if request._queue_span is not None:
+                    request._queue_span.end()
+                if not request.resolved:  # else: caller gave up in queue
+                    live.append(request)
+            if not live:
+                return
+            # Deadline re-check at drain: an expired request is refused
+            # here, never given a stale (or late) answer.
+            now = float(self.clock())
+            admitted = []
+            for request in live:
+                if now >= request.deadline_at:
+                    self._finish(
+                        request,
+                        Rejected(
+                            reason="deadline_expired_in_queue",
+                            request_id=request.request_id,
+                            latency_s=request.latency(),
+                        ),
+                        parent_span=request._queue_span,
+                    )
+                else:
+                    admitted.append(request)
+            if not admitted:
+                return
+            if not self.breaker.allow():
+                for request in admitted:
+                    self._finish(
+                        request,
+                        Rejected(
+                            reason="circuit_open",
+                            request_id=request.request_id,
+                            latency_s=request.latency(),
+                        ),
+                        parent_span=request._queue_span,
+                    )
+                return
+            # Per-row validation gate: a malformed spectrum rejects only
+            # its own request, never its batchmates.
+            valid = []
+            for request in admitted:
+                try:
+                    data = self._validate(request.data)
+                except ValidationError as error:
+                    self._finish(
+                        request,
+                        Rejected(
+                            reason="invalid_input",
+                            request_id=request.request_id,
+                            latency_s=request.latency(),
+                            detail={"error": str(error)},
+                        ),
+                        parent_span=request._queue_span,
+                    )
+                else:
+                    valid.append((request, data))
+            if not valid:
+                # Bad input is the callers' fault; release the breaker's
+                # half-open probe slot exactly as the single path does.
+                self.breaker.record_success()
+                return
+            batch_span = self.tracer.start_span(
+                "serving.batch",
+                attributes={
+                    "service": self.name,
+                    "batch_size": len(valid),
+                    "first_request_id": valid[0][0].request_id,
+                },
+            )
+            matrix = np.stack([data for _, data in valid])
+            started = float(self.clock())
+            try:
+                values = np.asarray(
+                    self._call_batch_analyzer(matrix), dtype=np.float64
+                )
+                if values.shape[0] != len(valid):
+                    raise RuntimeError(
+                        f"batch analyzer returned {values.shape[0]} rows "
+                        f"for {len(valid)} inputs"
+                    )
+            except Exception as error:
+                batch_span.set_attribute("fallback", True)
+                batch_span.end(status=f"error: {type(error).__name__}")
+                self._batch_fallback(valid, error)
+                return
+            elapsed = float(self.clock()) - started
+            per_request_s = elapsed / len(valid)
+            self._b_batches.inc()
+            self._b_batch_size.observe(len(valid))
+            finite_rows = np.isfinite(values.reshape(len(valid), -1)).all(
+                axis=1
+            )
+            # The batch is the breaker's unit of work.  A backend that
+            # answered with at least one finite row is alive; one that
+            # raised or returned nothing finite counts as a failure.
+            if finite_rows.any():
+                self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
+            batch_span.set_attribute("analyzer_seconds", elapsed)
+            batch_span.end()
+            end = float(self.clock())
+            for index, (request, _) in enumerate(valid):
+                if not finite_rows[index]:
+                    self._finish(
+                        request,
+                        Rejected(
+                            reason="nonfinite_output",
+                            request_id=request.request_id,
+                            latency_s=request.latency(),
+                        ),
+                        parent_span=request._queue_span,
+                    )
+                elif end >= request.deadline_at:
+                    # Correct but too late — never a deadline-violating
+                    # answer.
+                    self._finish(
+                        request,
+                        Rejected(
+                            reason="deadline_exceeded",
+                            request_id=request.request_id,
+                            latency_s=request.latency(),
+                            detail={"analyzer_seconds": per_request_s},
+                        ),
+                        parent_span=request._queue_span,
+                    )
+                else:
+                    self._finish(
+                        request,
+                        Completed(
+                            value=values[index].copy(),
+                            request_id=request.request_id,
+                            analyzer_seconds=per_request_s,
+                            latency_s=request.latency(),
+                        ),
+                        parent_span=request._queue_span,
+                    )
+        finally:
+            self._b_inflight.dec()
+
+    def _batch_fallback(self, valid, batch_error: Exception) -> None:
+        """Single-row retries after a failed batch call.
+
+        One poisoned request must not take down its batchmates: each row
+        is retried alone (through the same batch analyzer, so answers
+        stay byte-identical) and only its own failure rejects it.  The
+        breaker records one outcome for the whole episode — success if
+        any row came back, failure if the backend refused them all.
+        """
+        any_ok = False
+        for request, data in valid:
+            if request.resolved:
+                continue
+            started = float(self.clock())
+            try:
+                row = np.asarray(
+                    self._call_batch_analyzer(data[np.newaxis, ...])[0],
+                    dtype=np.float64,
+                )
+            except Exception as error:
+                self._finish(
+                    request,
+                    Rejected(
+                        reason="analyzer_error",
+                        request_id=request.request_id,
+                        latency_s=request.latency(),
+                        detail={
+                            "error": f"{type(error).__name__}: {error}",
+                            "batch_error": (
+                                f"{type(batch_error).__name__}: {batch_error}"
+                            ),
+                        },
+                    ),
+                    parent_span=request._queue_span,
+                )
+                continue
+            seconds = float(self.clock()) - started
+            if not np.isfinite(row).all():
+                self._finish(
+                    request,
+                    Rejected(
+                        reason="nonfinite_output",
+                        request_id=request.request_id,
+                        latency_s=request.latency(),
+                    ),
+                    parent_span=request._queue_span,
+                )
+                continue
+            any_ok = True
+            if float(self.clock()) >= request.deadline_at:
+                self._finish(
+                    request,
+                    Rejected(
+                        reason="deadline_exceeded",
+                        request_id=request.request_id,
+                        latency_s=request.latency(),
+                        detail={"analyzer_seconds": seconds},
+                    ),
+                    parent_span=request._queue_span,
+                )
+                continue
+            self._finish(
+                request,
+                Completed(
+                    value=row.copy(),
+                    request_id=request.request_id,
+                    analyzer_seconds=seconds,
+                    latency_s=request.latency(),
+                ),
+                parent_span=request._queue_span,
+            )
+        if any_ok:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
+    def _call_batch_analyzer(self, matrix: np.ndarray):
+        """Dispatch one (n, features) matrix to the batched backend."""
+        if self.batch_analyzer is not None:
+            return self.batch_analyzer(matrix)
+        # No batched backend given: map the single-request analyzer.
+        rows = []
+        for row in matrix:
+            value = self.analyzer(row)
+            if isinstance(value, tuple) and len(value) == 2:
+                value = value[0]
+            rows.append(np.asarray(value, dtype=np.float64))
+        return np.stack(rows)
+
+    # -- brownout ----------------------------------------------------------
+
+    def _observe_governor(self) -> int:
+        return self.governor.maybe_observe(
+            self._queue.qsize() / self.queue_size, self._completed_p95
+        )
+
+    def _completed_p95(self) -> Optional[float]:
+        return self._m_latency.percentile(
+            95.0, outcome="completed", service=self.name
+        )
+
+    def _on_brownout(self, transition: BrownoutTransition) -> None:
+        """Default governor callback: gauge + a span event per transition."""
+        self._b_brownout.set(transition.to_level)
+        span = self.tracer.start_span(
+            "serving.brownout",
+            attributes={
+                "service": self.name,
+                "from_level": transition.from_level,
+                "to_level": transition.to_level,
+                "queue_fill": round(transition.queue_fill, 4),
+            },
+        )
+        span.add_event(
+            "brownout_transition",
+            {
+                "from": self.governor.levels[transition.from_level].name,
+                "to": self.governor.levels[transition.to_level].name,
+                "p95_s": transition.p95_s,
+            },
+        )
+        span.end()
+
     def _handle(self, request: PendingRequest) -> None:
         self._b_queue_depth.dec()
         queue_span = request._queue_span
@@ -420,6 +887,8 @@ class AnalysisService:
             queue_span.end()
         if request.resolved:  # caller gave up while we were queued
             return
+        if self.governor is not None:
+            self._observe_governor()
         self._b_inflight.inc()
         try:
             self._handle_admitted(request, queue_span)

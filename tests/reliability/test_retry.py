@@ -82,6 +82,51 @@ class TestRetryPolicy:
         for attempt in range(1, 50):
             assert 0.9 <= policy.delay(attempt) <= 1.1
 
+    def test_jitter_mode_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_mode="lumpy")
+
+    def test_full_jitter_spans_the_whole_backoff_window(self):
+        policy = RetryPolicy(
+            base_delay=1.0, backoff=2.0, max_delay=8.0,
+            jitter_mode="full", seed=0,
+        )
+        for attempt in (1, 2, 3, 4):
+            raw = min(1.0 * 2.0 ** (attempt - 1), 8.0)
+            samples = [policy.delay(attempt) for _ in range(200)]
+            assert all(0.0 <= s <= raw for s in samples)
+            # Full jitter must actually use the low end of the window —
+            # scaled jitter never goes below raw * (1 - jitter).
+            assert min(samples) < 0.25 * raw
+
+    def test_full_jitter_is_deterministic_per_seed(self):
+        a = [RetryPolicy(jitter_mode="full", seed=3).delay(i)
+             for i in (1, 2, 3)]
+        b = [RetryPolicy(jitter_mode="full", seed=3).delay(i)
+             for i in (1, 2, 3)]
+        c = [RetryPolicy(jitter_mode="full", seed=4).delay(i)
+             for i in (1, 2, 3)]
+        assert a == b
+        assert a != c
+
+    def test_full_jitter_desynchronizes_concurrent_workers(self):
+        """The retry-storm scenario: workers that failed together must not
+        retry together.  Scaled jitter keeps their first-retry delays
+        within a 2*jitter band; full jitter spreads them."""
+        def first_delays(jitter_mode):
+            return [
+                RetryPolicy(
+                    base_delay=1.0, jitter=0.1, jitter_mode=jitter_mode,
+                    seed=worker,
+                ).delay(1)
+                for worker in range(16)
+            ]
+
+        scaled = first_delays("scaled")
+        full = first_delays("full")
+        assert max(scaled) - min(scaled) <= 0.2  # clustered: the storm
+        assert max(full) - min(full) > 0.5  # spread across the window
+
 
 class TestAcquireWithRetry:
     def test_recovers_dropped_scans(self):

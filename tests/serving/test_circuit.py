@@ -86,8 +86,42 @@ class TestRecovery:
             breaker.record_failure()
         clock.advance(10.0)
         assert breaker.allow()
+        breaker.record_success()  # probe must report back before the next
         assert breaker.allow()
-        assert not breaker.allow()  # budget spent
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_one_probe_at_a_time(self, clock):
+        """Regression: after the cooldown, concurrent workers calling
+        allow() must not stampede the barely-recovered backend — only
+        one probe may be in flight until its outcome is recorded."""
+        breaker = _breaker(clock, recovery=10.0, probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        # Every further worker is refused while the probe is in flight,
+        # even though the probe budget (2) is not yet spent.
+        assert not breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        # Outcome recorded: exactly one more probe slot opens.
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_frees_no_extra_probe(self, clock):
+        breaker = _breaker(clock, recovery=10.0, probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_failure()  # probe failed: straight back to OPEN
+        assert breaker.state == OPEN
+        assert not breaker.allow()
 
     def test_probe_success_closes(self, clock):
         breaker = _breaker(clock, recovery=10.0)

@@ -220,6 +220,87 @@ class TestLoadShedding:
                 service.submit(_spectrum(), deadline_s=0)
 
 
+class TestStopResolvesEverything:
+    """stop() must never strand a caller blocked in result(): whatever
+    the drain cannot finish resolves as Rejected("shutdown")."""
+
+    def test_stop_refuses_queued_and_inflight_requests(self):
+        release = threading.Event()
+
+        def hung(data):
+            release.wait(10.0)
+            return data
+
+        service = AnalysisService(
+            hung, workers=1, queue_size=8, default_deadline_s=30.0
+        )
+        service.start()
+        pending = [service.submit(_spectrum()) for _ in range(5)]
+        time.sleep(0.05)  # one request in flight, four queued
+        start = time.monotonic()
+        service.stop(timeout=0.3)
+        assert time.monotonic() - start < 5.0
+        for request in pending:
+            result = request.result(timeout=1.0)
+            assert result is not None
+            assert result.reason == "shutdown"
+        release.set()
+
+    def test_caller_blocked_in_result_is_released_by_stop(self):
+        release = threading.Event()
+
+        def hung(data):
+            release.wait(10.0)
+            return data
+
+        service = AnalysisService(
+            hung, workers=1, queue_size=4, default_deadline_s=30.0
+        )
+        service.start()
+        request = service.submit(_spectrum())
+        outcomes = []
+
+        def caller():
+            outcomes.append(request.result(timeout=20.0))
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        time.sleep(0.05)
+        service.stop(timeout=0.2)
+        thread.join(timeout=2.0)
+        assert not thread.is_alive(), "caller stayed blocked through stop()"
+        assert outcomes and outcomes[0].reason == "shutdown"
+        release.set()
+
+    def test_late_worker_result_is_dropped_after_stop(self):
+        release = threading.Event()
+        produced = []
+
+        def slow(data):
+            release.wait(5.0)
+            produced.append(True)
+            return data * 2.0
+
+        service = AnalysisService(
+            slow, workers=1, queue_size=4, default_deadline_s=30.0
+        )
+        service.start()
+        request = service.submit(_spectrum())
+        time.sleep(0.05)
+        service.stop(timeout=0.1)
+        assert request.result(timeout=1.0).reason == "shutdown"
+        # The hung worker finishes later; its answer must be dropped, not
+        # overwrite the shutdown resolution.
+        release.set()
+        time.sleep(0.2)
+        assert request.result(timeout=0.1).reason == "shutdown"
+
+    def test_graceful_stop_still_completes_drained_work(self):
+        with AnalysisService(_double, expected_length=LENGTH) as service:
+            results = [service.analyze(_spectrum()) for _ in range(4)]
+        assert all(r.ok for r in results)
+
+
 class TestCircuitIntegration:
     def test_breaker_opens_and_recovers(self):
         mode = {"fail": True}
