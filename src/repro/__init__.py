@@ -24,7 +24,11 @@ Subpackages:
   storage;
 * :mod:`repro.compute` — parallel execution engine (serial/thread/process
   backends behind one deterministic ``map_tasks`` API) and the
-  content-addressed, checksummed dataset/artifact cache.
+  content-addressed, checksummed dataset/artifact cache;
+* :mod:`repro.adaptation` — drift resilience: the domain-shift scenario
+  matrix (shift axes x adaptation strategies, cache-resumable) and the
+  guarded online recalibration controller (shadow evaluation, promotion
+  gate, journaled rollback).
 """
 
 __version__ = "1.0.0"

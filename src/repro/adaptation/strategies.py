@@ -1,0 +1,168 @@
+"""Adaptation strategies: what to do about a domain-shifted instrument.
+
+Each strategy consumes one :class:`AdaptationContext` — the deployed base
+model, the base (training-time) simulator, and a *small* labelled dataset
+from the shifted instrument standing in for the handful of real reference
+measurements an operator can afford — and returns an
+:class:`AdaptedPredictor`: a named ``predict(x) -> y`` plus the adapted
+model (when the strategy produces one).  The four strategies are the
+matrix's columns and the related sim-to-real works' usual suspects:
+
+* ``none`` — serve the frozen base model (the degradation baseline);
+* ``fine_tune`` — clone the base model and continue training on the
+  small shifted dataset (never mutates the deployed weights);
+* ``scaler_recal`` — recalibrate the *input* instead of the model: a
+  per-channel multiplicative correction mapping the shifted instrument's
+  mean response back onto the base simulator's, which is exactly the
+  right inverse for sensitivity drift (a per-channel gain change);
+* ``ensemble`` — average the base model with models trained on simulated
+  intermediate drift levels, hedging across the severity axis.
+
+Strategies are pure given their context and seeds, which is what lets the
+matrix cache cells by content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.serialization import clone_model
+
+__all__ = [
+    "STRATEGIES",
+    "AdaptationContext",
+    "AdaptedPredictor",
+    "adapt",
+    "channel_correction",
+]
+
+STRATEGIES = ("none", "fine_tune", "scaler_recal", "ensemble")
+
+
+@dataclass
+class AdaptationContext:
+    """Everything a strategy may consume.
+
+    ``small_x``/``small_y`` is the small labelled shifted-real set;
+    ``reference_x`` is unlabelled base-simulator output used by the
+    scaler recalibration (its mean spectrum defines "nominal").
+    ``member_models`` are pre-trained drift-level models for the ensemble
+    (trained by the caller, typically through the cached matrix cells).
+    """
+
+    model: object
+    small_x: np.ndarray
+    small_y: np.ndarray
+    reference_x: np.ndarray
+    seed: int = 0
+    fine_tune_epochs: int = 8
+    fine_tune_lr: float = 0.002
+    member_models: Sequence[object] = field(default_factory=tuple)
+
+
+@dataclass
+class AdaptedPredictor:
+    """A named predictor produced by one strategy."""
+
+    strategy: str
+    predict: Callable[[np.ndarray], np.ndarray]
+    model: Optional[object] = None
+    detail: dict = field(default_factory=dict)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.predict(x)
+
+
+def channel_correction(
+    reference_x: np.ndarray, shifted_x: np.ndarray, floor: float = 1e-6
+) -> np.ndarray:
+    """Per-channel gain correction mapping shifted spectra to nominal.
+
+    The ratio of mean spectra; channels the shifted instrument barely
+    sees any more are clipped by ``floor`` so the correction stays finite
+    and bounded.
+    """
+    reference_mean = np.asarray(reference_x, dtype=np.float64).mean(axis=0)
+    shifted_mean = np.asarray(shifted_x, dtype=np.float64).mean(axis=0)
+    correction = (reference_mean + floor) / (shifted_mean + floor)
+    return np.clip(correction, 0.1, 10.0)
+
+
+def _predict_none(context: AdaptationContext) -> AdaptedPredictor:
+    model = context.model
+    return AdaptedPredictor("none", lambda x: model.predict(x), model=model)
+
+
+def _predict_fine_tune(context: AdaptationContext) -> AdaptedPredictor:
+    from repro.nn.optimizers import Adam
+
+    tuned = clone_model(context.model, seed=context.seed)
+    tuned.compile(Adam(context.fine_tune_lr), "mae")
+    history = tuned.fit(
+        context.small_x,
+        context.small_y,
+        epochs=context.fine_tune_epochs,
+        batch_size=min(32, len(context.small_x)),
+        seed=context.seed,
+        verbose=False,
+    )
+    return AdaptedPredictor(
+        "fine_tune",
+        lambda x: tuned.predict(x),
+        model=tuned,
+        detail={"epochs_run": len(history.epochs)},
+    )
+
+
+def _predict_scaler_recal(context: AdaptationContext) -> AdaptedPredictor:
+    model = context.model
+    correction = channel_correction(context.reference_x, context.small_x)
+
+    def predict(x: np.ndarray) -> np.ndarray:
+        corrected = np.asarray(x, dtype=np.float64) * correction[None, :]
+        peak = np.max(corrected, axis=1, keepdims=True)
+        np.clip(peak, 1e-12, None, out=peak)
+        return model.predict(corrected / peak)
+
+    return AdaptedPredictor(
+        "scaler_recal",
+        predict,
+        model=model,
+        detail={
+            "correction_min": float(correction.min()),
+            "correction_max": float(correction.max()),
+        },
+    )
+
+
+def _predict_ensemble(context: AdaptationContext) -> AdaptedPredictor:
+    members: List[object] = [context.model, *context.member_models]
+
+    def predict(x: np.ndarray) -> np.ndarray:
+        stacked = np.stack([member.predict(x) for member in members])
+        return stacked.mean(axis=0)
+
+    return AdaptedPredictor(
+        "ensemble", predict, detail={"members": len(members)}
+    )
+
+
+_BUILDERS = {
+    "none": _predict_none,
+    "fine_tune": _predict_fine_tune,
+    "scaler_recal": _predict_scaler_recal,
+    "ensemble": _predict_ensemble,
+}
+
+
+def adapt(strategy: str, context: AdaptationContext) -> AdaptedPredictor:
+    """Run one named strategy over a context."""
+    builder = _BUILDERS.get(strategy)
+    if builder is None:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    return builder(context)

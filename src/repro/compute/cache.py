@@ -202,6 +202,47 @@ class ArtifactCache:
         self.put(key, arrays, entry_meta)
         return arrays, key, False
 
+    def get_or_create_json(
+        self,
+        config: Mapping,
+        producer: Callable[[], dict],
+        meta: Optional[dict] = None,
+    ) -> Tuple[dict, str, bool]:
+        """:meth:`get_or_create` for small JSON payloads (scalar cells).
+
+        Campaign cells (a drift-matrix MAE, a sweep score) are dicts, not
+        arrays; they ride the same enveloped entry format as a uint8 JSON
+        blob, so they get verify-on-read, quarantine-and-regenerate and
+        LRU bounding for free.  Returns ``(payload, key, hit)``.
+        """
+
+        def produce_arrays() -> Dict[str, np.ndarray]:
+            payload = producer()
+            if not isinstance(payload, dict):
+                raise TypeError(
+                    f"JSON cell producer must return a dict, "
+                    f"got {type(payload).__name__}"
+                )
+            blob = json.dumps(
+                payload, sort_keys=True, default=_canonical_default
+            ).encode("utf-8")
+            return {"__json__": np.frombuffer(blob, dtype=np.uint8)}
+
+        arrays, key, hit = self.get_or_create(
+            config, produce_arrays, meta=meta
+        )
+        try:
+            payload = json.loads(bytes(arrays["__json__"].tobytes()))
+        except (KeyError, ValueError) as error:
+            # A verified entry that is not a JSON cell (key collision with
+            # an array entry): treat as corrupt, heal by regenerating.
+            self._quarantine(self.path_for(key), error)
+            arrays, key, hit = self.get_or_create(
+                config, produce_arrays, meta=meta
+            )
+            payload = json.loads(bytes(arrays["__json__"].tobytes()))
+        return payload, key, hit
+
     # -- maintenance ---------------------------------------------------------
 
     def verify(self) -> Dict[str, str]:

@@ -26,6 +26,7 @@ from repro.ms.mixtures import MassFlowControllerRig
 from repro.ms.plausibility import PlausibilityChecker
 from repro.ms.simulator import MassSpectrometerSimulator
 from repro.ms.spectrum import MassSpectrum
+from repro.observability.runtime import get_registry
 
 __all__ = ["DriftStatus", "DriftMonitor", "recalibrate"]
 
@@ -57,6 +58,26 @@ class DriftStatus:
             return float("inf") if self.ewma_residual > 0 else 1.0
         return self.ewma_residual / self.baseline_residual
 
+    def to_record(self) -> dict:
+        """A JSON-portable encoding of this status.
+
+        ``severity`` can legitimately be ``inf`` (see above), and the
+        JSON ``Infinity`` token is a Python extension many parsers refuse
+        — so the record carries ``severity: null`` alongside
+        ``severity_finite: false`` in that case, and round-trips through
+        strict encoders (``json.dumps(..., allow_nan=False)``) unchanged.
+        """
+        severity = self.severity
+        finite = bool(np.isfinite(severity))
+        return {
+            "drifted": bool(self.drifted),
+            "ewma_residual": float(self.ewma_residual),
+            "baseline_residual": float(self.baseline_residual),
+            "observations": int(self.observations),
+            "severity": float(severity) if finite else None,
+            "severity_finite": finite,
+        }
+
 
 class DriftMonitor:
     """EWMA drift detector over plausibility residuals."""
@@ -70,10 +91,12 @@ class DriftMonitor:
         warmup: int = 5,
         baseline_samples: int = 200,
         rng: Optional[np.random.Generator] = None,
+        name: str = "default",
     ):
         """``alarm_factor`` is how far above the simulated baseline the
         smoothed residual must rise before drift is declared; ``warmup``
-        observations are collected before any alarm can fire."""
+        observations are collected before any alarm can fire.  ``name``
+        labels this monitor's telemetry series."""
         if alarm_factor <= 1.0:
             raise ValueError("alarm_factor must exceed 1.0")
         if not 0.0 < smoothing <= 1.0:
@@ -84,9 +107,18 @@ class DriftMonitor:
         self.alarm_factor = float(alarm_factor)
         self.smoothing = float(smoothing)
         self.warmup = int(warmup)
+        self.name = str(name)
         self._ewma: Optional[float] = None
         self._count = 0
         self.skipped_nonfinite = 0
+        self._alarmed = False
+        registry = get_registry()
+        self._m_severity = registry.gauge(
+            "drift_severity", "EWMA residual relative to baseline"
+        ).labels(monitor=self.name)
+        self._m_alarms = registry.counter(
+            "drift_alarms_total", "drift alarm onsets (not re-fires)"
+        ).labels(monitor=self.name)
         rng = rng if rng is not None else np.random.default_rng(0)
         self.baseline_residual = self._establish_baseline(
             simulator, task_compounds, baseline_samples, rng
@@ -139,18 +171,58 @@ class DriftMonitor:
             self._count >= self.warmup
             and ewma > self.alarm_factor * max(self.baseline_residual, 1e-6)
         )
-        return DriftStatus(
+        status = DriftStatus(
             drifted=drifted,
             ewma_residual=float(ewma),
             baseline_residual=self.baseline_residual,
             observations=self._count,
         )
+        self._m_severity.set(status.severity)
+        if drifted and not self._alarmed:
+            # Count alarm *onsets*: a sustained excursion is one alarm,
+            # however many observations it spans.
+            self._alarmed = True
+            self._m_alarms.inc()
+        elif not drifted:
+            self._alarmed = False
+        return status
+
+    def snapshot(self) -> dict:
+        """The monitor's restorable observation state.
+
+        JSON-portable (the EWMA and baseline are finite by construction
+        — non-finite residuals never enter them), so it can ride a
+        checkpoint state payload or a journal record and survive a
+        process restart via :meth:`restore`.
+        """
+        return {
+            "ewma": self._ewma,
+            "count": self._count,
+            "skipped_nonfinite": self.skipped_nonfinite,
+            "baseline_residual": self.baseline_residual,
+            "alarmed": self._alarmed,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Resume from a :meth:`snapshot` taken before a restart.
+
+        The baseline is restored too — it was established against the
+        simulator the *deployed* model was trained on, which need not
+        match whatever simulator this process was constructed with.
+        """
+        ewma = snapshot["ewma"]
+        self._ewma = None if ewma is None else float(ewma)
+        self._count = int(snapshot["count"])
+        self.skipped_nonfinite = int(snapshot["skipped_nonfinite"])
+        self.baseline_residual = float(snapshot["baseline_residual"])
+        self._alarmed = bool(snapshot.get("alarmed", False))
 
     def reset(self) -> None:
         """Clear the observation state (e.g. after recalibration)."""
         self._ewma = None
         self._count = 0
         self.skipped_nonfinite = 0
+        self._alarmed = False
 
 
 def recalibrate(

@@ -22,6 +22,7 @@ from repro.storage.integrity import atomic_write_bytes
 
 __all__ = [
     "atomic_savez",
+    "clone_model",
     "save_model",
     "load_model",
     "model_to_dict",
@@ -49,6 +50,17 @@ def model_from_dict(config: dict, seed: int = 0) -> Sequential:
         raise ValueError("config is missing input_shape")
     model.build(tuple(input_shape), seed=seed)
     return model
+
+
+def clone_model(model: Sequential, seed: int = 0) -> Sequential:
+    """An independent copy: same architecture, copied weights, no optimizer.
+
+    Fine-tuning and shadow candidates must never mutate the serving
+    model's arrays in place, so the clone deep-copies every weight.
+    """
+    clone = model_from_dict(model_to_dict(model), seed=seed)
+    clone.set_weights([np.array(w, copy=True) for w in model.get_weights()])
+    return clone
 
 
 def atomic_savez(

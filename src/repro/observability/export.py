@@ -23,6 +23,7 @@ leaf package.
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Iterable, List, Optional, Sequence, Union
 
@@ -30,6 +31,7 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Span, Tracer
 
 __all__ = [
+    "sanitize_nonfinite",
     "export_spans_jsonl",
     "export_metrics_jsonl",
     "read_jsonl",
@@ -40,12 +42,54 @@ __all__ = [
 ]
 
 
+def sanitize_nonfinite(value):
+    """Recursively replace non-finite floats with ``None``.
+
+    Telemetry legitimately contains ``inf`` (a drift severity against a
+    perfect baseline) and ``nan`` (an empty histogram percentile), but
+    the JSON ``Infinity``/``NaN`` tokens are a Python extension: strict
+    parsers (and ``json.loads`` consumers in other languages) reject
+    them, which would make the exported file unreadable exactly when it
+    matters.  ``None`` is the portable encoding of "no usable number";
+    :func:`read_jsonl` round-trips it as-is.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_nonfinite(item) for item in value]
+    return value
+
+
+def _encode_default(value):
+    """Coerce non-JSON scalars (numpy floats/ints) before sanitizing."""
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"telemetry value of type {type(value).__name__} is not "
+            f"JSON-encodable"
+        )
+    return as_float if math.isfinite(as_float) else None
+
+
 def _write_jsonl(path: Union[str, os.PathLike], lines: Iterable[dict]) -> int:
     path = os.fspath(path)
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
         for line in lines:
-            handle.write(json.dumps(line, ensure_ascii=False, default=float))
+            # allow_nan=False is the tripwire: nothing non-portable can
+            # reach the file, because every non-finite float was mapped
+            # to null first (including numpy scalars via the default).
+            handle.write(
+                json.dumps(
+                    sanitize_nonfinite(line),
+                    ensure_ascii=False,
+                    allow_nan=False,
+                    default=_encode_default,
+                )
+            )
             handle.write("\n")
             count += 1
     return count

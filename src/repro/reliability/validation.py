@@ -34,6 +34,7 @@ __all__ = [
     "ensure_range",
     "validate_spectrum",
     "validate_batch",
+    "validate_predictions",
 ]
 
 
@@ -233,5 +234,31 @@ def validate_batch(
     if feature_shape is not None:
         expected = (None,) + tuple(int(d) for d in feature_shape)
         ensure_shape(array, shape=expected, field=field)
+    ensure_finite(array, field=field)
+    return array
+
+
+def validate_predictions(
+    values,
+    *,
+    n_outputs: Optional[int] = None,
+    field: str = "prediction",
+) -> np.ndarray:
+    """Gate for model *outputs*: numeric, 2-D (batch, outputs), finite.
+
+    The output-side twin of :func:`validate_batch`, applied to candidate
+    models before they are trusted with traffic — a recalibrated network
+    whose predictions contain NaN (poisoned fine-tune data, diverged
+    optimizer) is rejected here with the same typed taxonomy the input
+    gates use.
+    """
+    array = ensure_array(values, field=field)
+    ensure_shape(array, ndim=2, field=field)
+    if n_outputs is not None and array.shape[1] != n_outputs:
+        raise ShapeError(
+            f"expected {n_outputs} outputs per row, got {array.shape[1]}",
+            field=field,
+            detail={"expected": n_outputs, "outputs": int(array.shape[1])},
+        )
     ensure_finite(array, field=field)
     return array

@@ -211,6 +211,7 @@ class AnalysisService:
         batching: Optional[BatchingPolicy] = None,
         batch_analyzer: Optional[Callable] = None,
         governor: Optional[BrownoutGovernor] = None,
+        shadow_tap: Optional[Callable] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -232,6 +233,10 @@ class AnalysisService:
         self.batching = batching
         self.batch_analyzer = batch_analyzer
         self.governor = governor
+        # Shadow tap: called as tap(data, value) after every *served*
+        # completion (see set_shadow_tap).  Never on rejections.
+        self.shadow_tap = shadow_tap
+        self.model_swaps = 0
         if governor is not None and governor.on_transition is None:
             governor.on_transition = self._on_brownout
         self.registry = registry if registry is not None else get_registry()
@@ -263,6 +268,13 @@ class AnalysisService:
         self._m_brownout = self.registry.gauge(
             "serving_brownout_level", "current brownout degradation level"
         )
+        self._m_swaps = self.registry.counter(
+            "serving_model_swaps_total", "hot analyzer swaps"
+        )
+        self._m_tap_errors = self.registry.counter(
+            "serving_shadow_tap_errors_total",
+            "shadow tap invocations that raised (served result unaffected)",
+        )
         # Bound series: the label sets are fixed per service instance, so
         # the hot path skips the per-call label-key computation.
         self._b_submitted = self._m_submitted.labels(service=self.name)
@@ -271,6 +283,8 @@ class AnalysisService:
         self._b_batches = self._m_batches.labels(service=self.name)
         self._b_batch_size = self._m_batch_size.labels(service=self.name)
         self._b_brownout = self._m_brownout.labels(service=self.name)
+        self._b_swaps = self._m_swaps.labels(service=self.name)
+        self._b_tap_errors = self._m_tap_errors.labels(service=self.name)
         self._b_outcomes: Dict[str, tuple] = {}
         # Every live PendingRequest, so stop() can refuse whatever a hung
         # worker leaves unresolved instead of stranding its caller.
@@ -519,7 +533,50 @@ class AnalysisService:
             }
         if self.governor is not None:
             base["brownout"] = self.governor.snapshot()
+        with self._stats_lock:
+            base["model_swaps"] = self.model_swaps
         return base
+
+    # -- adaptation hooks ---------------------------------------------------
+
+    def set_shadow_tap(self, tap: Optional[Callable]) -> None:
+        """Install (or clear, with ``None``) the shadow tap.
+
+        The tap is called as ``tap(data, value)`` — validated input,
+        served finite output — after every completion that *won* its
+        resolution, on the worker thread that served it.  It exists so an
+        adaptation controller can mirror live traffic onto a candidate
+        model without the candidate ever producing a served answer: a tap
+        that raises is counted (``serving_shadow_tap_errors_total``) and
+        swallowed, and the caller's :class:`Completed` was already
+        resolved before the tap ran, so no tap behaviour — slow, broken,
+        or poisoned — can change, delay-reject, or duplicate a result.
+        """
+        self.shadow_tap = tap
+
+    def swap_analyzer(
+        self,
+        analyzer: Callable,
+        batch_analyzer: Optional[Callable] = None,
+    ) -> None:
+        """Hot-swap the backend model without a restart or a dropped request.
+
+        In-flight requests finish against whichever analyzer they already
+        dereferenced; everything dequeued after the swap is served by the
+        new one.  ``batch_analyzer`` *always* replaces the old batched
+        backend — passing ``None`` clears it rather than leaving a stale
+        batched path serving the previous model (the service then maps
+        the single-request analyzer over batches).
+        """
+        span = self.tracer.start_span(
+            "serving.swap", attributes={"service": self.name}
+        )
+        self.analyzer = analyzer
+        self.batch_analyzer = batch_analyzer
+        with self._stats_lock:
+            self.model_swaps += 1
+        self._b_swaps.inc()
+        span.end()
 
     # -- workers -----------------------------------------------------------
 
@@ -1026,6 +1083,15 @@ class AnalysisService:
         )
         if request.resolve(result):
             span.end()
+            # Mirror the served (data, value) pair to the shadow tap.  The
+            # caller already has its answer; a failing tap is recorded and
+            # contained here, never surfaced as a serving outcome.
+            tap = self.shadow_tap
+            if tap is not None and result.ok:
+                try:
+                    tap(request.data, result.value)
+                except Exception:
+                    self._b_tap_errors.inc()
         else:
             span.end(status="error: already_resolved")
 

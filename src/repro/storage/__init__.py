@@ -10,7 +10,10 @@ checkable instead of hopeful:
   atomic-write primitives every durable artifact goes through;
 * :mod:`repro.storage.journal` — a checksummed append-only write-ahead
   journal with torn-tail recovery, backing
-  :class:`~repro.db.document_store.DocumentStore` crash recovery.
+  :class:`~repro.db.document_store.DocumentStore` crash recovery;
+* :mod:`repro.storage.promotion` — typed serving-model transition records
+  (shadow/promote/reject/rollback) on the journal, consumed by
+  :class:`~repro.adaptation.controller.AdaptationController`.
 
 Layering: ``storage`` is a leaf below ``nn``, ``reliability``, ``db`` and
 ``serving`` — it imports only the standard library.
@@ -32,12 +35,15 @@ from repro.storage.integrity import (
     write_envelope,
 )
 from repro.storage.journal import Journal
+from repro.storage.promotion import PROMOTION_EVENTS, PromotionJournal
 
 __all__ = [
     "CorruptArtifactError",
     "FORMAT_VERSION",
     "Journal",
     "MAGIC",
+    "PROMOTION_EVENTS",
+    "PromotionJournal",
     "SchemaVersionError",
     "SimulatedCrash",
     "StorageError",

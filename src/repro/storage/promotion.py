@@ -1,0 +1,90 @@
+"""Typed promotion/rollback records on the append-only journal.
+
+Every serving-model transition the adaptation controller makes — a
+candidate entering shadow, a promotion, a gate rejection, a rollback —
+is an operational fact that must survive the process that made it: the
+operator debugging a bad night needs to know *which* model was serving
+when, and the controller itself replays the journal to refuse to promote
+a candidate lineage that already failed.  :class:`PromotionJournal` wraps
+the checksummed :class:`~repro.storage.journal.Journal` with a closed
+event vocabulary and monotonically increasing sequence numbers, so a
+replayed history is typed and ordered, not free-form dicts.
+
+Layering: storage stays a leaf — records are plain dicts; callers encode
+non-portable values (e.g. an ``inf`` drift severity) before appending,
+via :meth:`~repro.core.lifecycle.DriftStatus.to_record`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.storage.journal import Journal
+
+__all__ = ["PROMOTION_EVENTS", "PromotionJournal"]
+
+PROMOTION_EVENTS = (
+    "shadow_started",
+    "promoted",
+    "rejected",
+    "rolled_back",
+)
+
+
+class PromotionJournal:
+    """A write-ahead log of serving-model transitions."""
+
+    def __init__(self, path: Union[str, os.PathLike], fsync: bool = True):
+        self._journal = Journal(path, fsync=fsync)
+        self._seq = self._replay_seq()
+
+    def _replay_seq(self) -> int:
+        if not self._journal.exists():
+            return 0
+        records, _ = self._journal.replay()
+        return max((int(r.get("seq", 0)) for r in records), default=0)
+
+    @property
+    def path(self) -> str:
+        return self._journal.path
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def append(self, event: str, **detail) -> dict:
+        """Durably record one transition; returns the committed record."""
+        if event not in PROMOTION_EVENTS:
+            raise ValueError(
+                f"unknown promotion event {event!r}; expected one of "
+                f"{PROMOTION_EVENTS}"
+            )
+        self._seq += 1
+        record = {"seq": self._seq, "event": event, **detail}
+        self._journal.append(record)
+        return record
+
+    def replay(self) -> Tuple[List[dict], Dict[str, int]]:
+        """Committed records (torn tail discarded) plus recovery stats.
+
+        Records with an unknown event name are dropped and counted in
+        ``stats["skipped_unknown"]`` — a forward-compatible reader, not a
+        crash on a newer writer's vocabulary.
+        """
+        records, stats = self._journal.replay()
+        known = [r for r in records if r.get("event") in PROMOTION_EVENTS]
+        stats = dict(stats)
+        stats["skipped_unknown"] = len(records) - len(known)
+        return known, stats
+
+    def last_event(self) -> Optional[dict]:
+        records, _ = self.replay()
+        return records[-1] if records else None
+
+    def counts(self) -> Dict[str, int]:
+        """Event-name histogram over the committed history."""
+        records, _ = self.replay()
+        table = {event: 0 for event in PROMOTION_EVENTS}
+        for record in records:
+            table[record["event"]] += 1
+        return table

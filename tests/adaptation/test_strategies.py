@@ -1,0 +1,123 @@
+"""Unit tests for adaptation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.strategies import (
+    STRATEGIES,
+    AdaptationContext,
+    adapt,
+    channel_correction,
+)
+from repro.core.topologies import mlp_topology
+from repro.nn.optimizers import Adam
+
+N_FEATURES = 12
+N_OUTPUTS = 3
+
+
+def _model(seed=0):
+    model = mlp_topology(N_OUTPUTS, hidden_units=(8,)).build(
+        (N_FEATURES,), seed=seed
+    )
+    model.compile(Adam(0.01), "mae")
+    return model
+
+
+def _context(**kwargs):
+    rng = np.random.default_rng(0)
+    defaults = dict(
+        model=_model(),
+        small_x=rng.random((32, N_FEATURES)),
+        small_y=rng.random((32, N_OUTPUTS)),
+        reference_x=rng.random((64, N_FEATURES)),
+        seed=0,
+        fine_tune_epochs=2,
+    )
+    defaults.update(kwargs)
+    return AdaptationContext(**defaults)
+
+
+class TestChannelCorrection:
+    def test_recovers_per_channel_gain(self):
+        rng = np.random.default_rng(1)
+        reference = rng.random((200, N_FEATURES)) + 0.5
+        gains = np.linspace(0.5, 0.9, N_FEATURES)
+        shifted = reference * gains
+        correction = channel_correction(reference, shifted)
+        # Correcting the shifted mean spectrum lands back on the reference.
+        np.testing.assert_allclose(
+            shifted.mean(axis=0) * correction,
+            reference.mean(axis=0),
+            rtol=1e-4,
+        )
+
+    def test_correction_is_bounded(self):
+        reference = np.ones((10, N_FEATURES))
+        shifted = np.full((10, N_FEATURES), 1e-9)  # channel died
+        correction = channel_correction(reference, shifted)
+        assert correction.max() <= 10.0
+        assert correction.min() >= 0.1
+
+
+class TestStrategies:
+    def test_none_serves_the_base_model_exactly(self):
+        context = _context()
+        predictor = adapt("none", context)
+        x = np.random.default_rng(2).random((5, N_FEATURES))
+        np.testing.assert_array_equal(
+            predictor(x), context.model.predict(x)
+        )
+
+    def test_fine_tune_never_mutates_the_base_weights(self):
+        context = _context()
+        before = [w.copy() for w in context.model.get_weights()]
+        predictor = adapt("fine_tune", context)
+        after = context.model.get_weights()
+        for b, a in zip(before, after):
+            np.testing.assert_array_equal(b, a)
+        assert predictor.model is not context.model
+        assert predictor.detail["epochs_run"] == 2
+
+    def test_fine_tune_reduces_small_set_error(self):
+        context = _context(fine_tune_epochs=15)
+        base_mae = float(
+            np.mean(
+                np.abs(
+                    context.model.predict(context.small_x) - context.small_y
+                )
+            )
+        )
+        predictor = adapt("fine_tune", context)
+        tuned_mae = float(
+            np.mean(np.abs(predictor(context.small_x) - context.small_y))
+        )
+        assert tuned_mae < base_mae
+
+    def test_scaler_recal_renormalizes_input(self):
+        context = _context()
+        predictor = adapt("scaler_recal", context)
+        x = np.random.default_rng(3).random((4, N_FEATURES))
+        out = predictor(x)
+        assert out.shape == (4, N_OUTPUTS)
+        assert np.isfinite(out).all()
+        assert "correction_min" in predictor.detail
+
+    def test_ensemble_averages_members(self):
+        member = _model(seed=9)
+        context = _context(member_models=(member,))
+        predictor = adapt("ensemble", context)
+        x = np.random.default_rng(4).random((6, N_FEATURES))
+        expected = (context.model.predict(x) + member.predict(x)) / 2.0
+        np.testing.assert_allclose(predictor(x), expected)
+        assert predictor.detail["members"] == 2
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            adapt("prayer", _context())
+
+    def test_registry_is_complete(self):
+        context = _context()
+        for strategy in STRATEGIES:
+            predictor = adapt(strategy, context)
+            assert predictor.strategy == strategy

@@ -1,9 +1,12 @@
 """Unit tests for drift monitoring and recalibration."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.lifecycle import DriftMonitor, DriftStatus
+from repro.observability import scoped
 from repro.ms.compounds import DEFAULT_TASK_COMPOUNDS, default_library
 from repro.ms.instrument import InstrumentCharacteristics, VirtualMassSpectrometer
 from repro.ms.simulator import MassSpectrometerSimulator
@@ -187,3 +190,113 @@ class TestNonFiniteGuard:
         monitor.observe(np.full(AXIS.size, np.nan))
         monitor.reset()
         assert monitor.skipped_nonfinite == 0
+
+
+class TestToRecord:
+    def test_infinite_severity_encodes_portably(self):
+        status = DriftStatus(
+            drifted=True, ewma_residual=0.4, baseline_residual=0.0,
+            observations=6,
+        )
+        record = status.to_record()
+        assert record["severity"] is None
+        assert record["severity_finite"] is False
+        # Strict encoders (no Infinity/NaN tokens) must accept it.
+        encoded = json.dumps(record, allow_nan=False)
+        assert json.loads(encoded)["severity"] is None
+
+    def test_finite_severity_round_trips(self):
+        status = DriftStatus(
+            drifted=False, ewma_residual=0.3, baseline_residual=0.2,
+            observations=9,
+        )
+        record = json.loads(
+            json.dumps(status.to_record(), allow_nan=False)
+        )
+        assert record["severity"] == pytest.approx(1.5)
+        assert record["severity_finite"] is True
+        assert record["drifted"] is False
+
+
+class TestSnapshotRestore:
+    def test_round_trip_resumes_identically(self, simulator):
+        monitor = _monitor(simulator)
+        x, _ = simulator.generate_dataset(TASK, 10, np.random.default_rng(4))
+        for row in x[:6]:
+            monitor.observe(row)
+        snapshot = monitor.snapshot()
+
+        continued = [monitor.observe(row) for row in x[6:]]
+        # "Process restart": a fresh monitor restored from the snapshot
+        # must produce the same statuses for the same subsequent spectra.
+        reborn = _monitor(simulator)
+        reborn.restore(snapshot)
+        resumed = [reborn.observe(row) for row in x[6:]]
+        assert resumed == continued
+
+    def test_snapshot_is_json_portable(self, simulator):
+        monitor = _monitor(simulator)
+        x, _ = simulator.generate_dataset(TASK, 4, np.random.default_rng(5))
+        for row in x:
+            monitor.observe(row)
+        restored = json.loads(
+            json.dumps(monitor.snapshot(), allow_nan=False)
+        )
+        assert restored == monitor.snapshot()
+
+    def test_restore_carries_the_baseline(self, simulator):
+        monitor = _monitor(simulator)
+        snapshot = monitor.snapshot()
+        snapshot["baseline_residual"] = 0.123
+        reborn = _monitor(simulator)
+        reborn.restore(snapshot)
+        assert reborn.baseline_residual == pytest.approx(0.123)
+
+
+class TestTelemetry:
+    def _drifted_spectrum(self, simulator, rng):
+        return simulator.simulate(
+            {"N2": 0.4, "H2S": 0.6}, rng=rng
+        ).normalized("max")
+
+    def test_alarm_counter_counts_onsets_not_refires(self, simulator):
+        with scoped() as (registry, _):
+            monitor = _monitor(
+                simulator, name="telemetry", smoothing=1.0, alarm_factor=2.0
+            )
+            rng = np.random.default_rng(8)
+            for _ in range(8):
+                status = monitor.observe(
+                    self._drifted_spectrum(simulator, rng)
+                )
+            assert status.drifted
+            # A sustained excursion is ONE alarm, not eight.
+            assert registry.counter("drift_alarms_total").value(
+                monitor="telemetry"
+            ) == 1
+
+            x, _ = simulator.generate_dataset(TASK, 6, rng)
+            for row in x:
+                status = monitor.observe(row)
+            assert not status.drifted
+
+            for _ in range(4):
+                status = monitor.observe(
+                    self._drifted_spectrum(simulator, rng)
+                )
+            assert status.drifted
+            assert registry.counter("drift_alarms_total").value(
+                monitor="telemetry"
+            ) == 2
+
+    def test_severity_gauge_tracks_the_latest_status(self, simulator):
+        with scoped() as (registry, _):
+            monitor = _monitor(simulator, name="gauge")
+            x, _ = simulator.generate_dataset(
+                TASK, 3, np.random.default_rng(9)
+            )
+            for row in x:
+                status = monitor.observe(row)
+            assert registry.gauge("drift_severity").value(
+                monitor="gauge"
+            ) == pytest.approx(status.severity)

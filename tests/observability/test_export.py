@@ -169,3 +169,71 @@ class TestRuntimeGlobals:
         with scoped() as (registry, _):
             registry.counter("global_dump_probe", "x").inc()
             assert "global_dump_probe" in text_dump()
+
+
+class TestNonFinitePortability:
+    """Regression: inf/NaN telemetry must never emit non-portable JSON.
+
+    ``drift_severity`` can legitimately be ``inf`` (zero baseline); the
+    Python ``json`` module would happily write the ``Infinity`` token,
+    which strict JSON parsers reject.  Exports encode non-finite floats
+    as ``null`` instead.
+    """
+
+    def test_infinite_gauge_exports_as_null(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("drift_severity", "x").set(
+            float("inf"), monitor="default"
+        )
+        registry.gauge("depths", "x").set(float("nan"), kind="bad")
+        registry.gauge("depths", "x").set(2.5, kind="good")
+        path = tmp_path / "metrics.jsonl"
+        export_metrics_jsonl(registry, path)
+
+        raw = path.read_text()
+        assert "Infinity" not in raw
+        assert "NaN" not in raw
+        for line in raw.splitlines():
+            json.loads(line)  # strict parse of every line
+
+        by_key = {
+            (r["name"], tuple(sorted(r.get("labels", {}).items()))): r
+            for r in read_jsonl(path)
+        }
+        severity = by_key[("drift_severity", (("monitor", "default"),))]
+        assert severity["value"] is None
+        nan_gauge = by_key[("depths", (("kind", "bad"),))]
+        assert nan_gauge["value"] is None
+        good = by_key[("depths", (("kind", "good"),))]
+        assert good["value"] == 2.5
+
+    def test_infinite_span_attribute_exports_as_null(self, tmp_path):
+        tracer = Tracer()
+        span = tracer.start_span(
+            "observe", attributes={"severity": float("inf"), "n": 3}
+        )
+        span.end()
+        path = tmp_path / "spans.jsonl"
+        export_spans_jsonl(tracer, path)
+        raw = path.read_text()
+        assert "Infinity" not in raw
+        record = read_jsonl(path)[0]
+        assert record["attributes"]["severity"] is None
+        assert record["attributes"]["n"] == 3
+
+    def test_sanitize_nonfinite_recurses(self):
+        from repro.observability.export import sanitize_nonfinite
+
+        dirty = {
+            "a": float("inf"),
+            "b": [1.0, float("nan"), {"c": float("-inf")}],
+            "d": (0.5, float("inf")),
+            "e": "inf",
+        }
+        clean = sanitize_nonfinite(dirty)
+        assert clean == {
+            "a": None,
+            "b": [1.0, None, {"c": None}],
+            "d": [0.5, None],
+            "e": "inf",
+        }

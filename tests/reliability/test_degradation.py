@@ -207,3 +207,96 @@ class TestCounters:
     def test_hold_limit_validation(self):
         with pytest.raises(ValueError):
             GuardedAnalyzer(_good_analyzer(), SAFE, hold_limit=-1)
+
+
+class TestFullLadder:
+    """The complete degradation ladder, walked end to end in one life."""
+
+    def test_primary_hold_fallback_safe_and_recovery(self):
+        primary_state = {"healthy": True}
+        fallback_state = {"healthy": True}
+
+        def primary(data):
+            if not primary_state["healthy"]:
+                raise RuntimeError("detector drifted out of range")
+            return np.full(3, 0.6), 0.01
+
+        def fallback(data):
+            if not fallback_state["healthy"]:
+                raise RuntimeError("reference model offline")
+            return np.full(3, 0.3), 0.01
+
+        guard = GuardedAnalyzer(
+            primary, SAFE, fallback=fallback, hold_limit=2
+        )
+        tiers, estimates = [], []
+
+        def step(n):
+            for _ in range(n):
+                estimate, _ = guard(np.ones(10))
+                tiers.append(guard.last_tier)
+                estimates.append(estimate)
+
+        step(2)                               # healthy
+        primary_state["healthy"] = False      # sustained drift begins
+        step(4)                               # hold x2, then fallback
+        fallback_state["healthy"] = False     # now the fallback dies too
+        step(2)                               # nothing left: safe
+        primary_state["healthy"] = True       # drift resolved
+        step(2)                               # straight back to primary
+
+        assert tiers == [
+            "primary", "primary",
+            "hold", "hold", "fallback", "fallback",
+            "safe", "safe",
+            "primary", "primary",
+        ]
+        # The served estimate matches the tier that produced it.
+        expected = {
+            "primary": 0.6, "hold": 0.6, "fallback": 0.3, "safe": SAFE
+        }
+        for tier, estimate in zip(tiers, estimates):
+            assert np.allclose(estimate, expected[tier])
+
+    def test_every_call_lands_in_exactly_one_tier(self):
+        calls = {"n": 0}
+
+        def erratic(data):
+            calls["n"] += 1
+            if calls["n"] % 3 == 0:
+                raise RuntimeError("blip")
+            if calls["n"] % 7 == 0:
+                return np.array([np.nan, 0.0, 0.0]), 0.01
+            return np.full(3, 0.5), 0.01
+
+        guard = GuardedAnalyzer(
+            erratic, SAFE, fallback=_good_analyzer(0.2), hold_limit=1
+        )
+        total = 50
+        for i in range(total):
+            data = np.ones(10)
+            if i % 11 == 0:
+                data[0] = np.inf  # gate failures count too
+            guard(data)
+        assert guard.calls == total
+        assert sum(guard.tier_counts.values()) == total
+        assert guard.degraded_steps == total - guard.tier_counts["primary"]
+        assert len(guard.events) == guard.degraded_steps
+
+    def test_hold_serves_stale_but_finite_during_drift(self):
+        state = {"healthy": True}
+
+        def primary(data):
+            if not state["healthy"]:
+                return np.full(3, np.inf), 0.01  # drifted, not crashing
+            return np.full(3, 0.8), 0.01
+
+        guard = GuardedAnalyzer(primary, SAFE, hold_limit=3)
+        guard(np.ones(10))
+        state["healthy"] = False
+        for _ in range(6):
+            estimate, _ = guard(np.ones(10))
+            assert np.isfinite(estimate).all()
+        assert guard.tier_counts == {
+            "primary": 1, "hold": 3, "fallback": 0, "safe": 3
+        }
