@@ -28,7 +28,11 @@ Subpackages:
 * :mod:`repro.adaptation` — drift resilience: the domain-shift scenario
   matrix (shift axes x adaptation strategies, cache-resumable) and the
   guarded online recalibration controller (shadow evaluation, promotion
-  gate, journaled rollback).
+  gate, journaled rollback);
+* :mod:`repro.uncertainty` — ensemble/MC-dropout mean + spread,
+  split-conformal prediction intervals, the serving abstention gate
+  ("I don't know" as a first-class outcome) and the width-greedy
+  acquisition planner closing the measurement loop.
 """
 
 __version__ = "1.0.0"

@@ -66,6 +66,10 @@ __all__ = [
 # in concentration units (served outputs are ~[0, 1] fractions).
 _DELTA_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0)
 
+# Hardest a drift severity may shorten the retry cooldown: at most 4x
+# faster than the base, even for inf severity (zero-baseline statuses).
+_MAX_COOLDOWN_SCALE = 4.0
+
 
 @dataclass
 class ShadowStats:
@@ -120,13 +124,18 @@ class PromotionGate:
       the ratio is > 1);
     * optionally, its mean per-request deviation from the served answers
       stays under ``max_shadow_delta`` (a sanity bound against a
-      candidate that is finite but wild).
+      candidate that is finite but wild);
+    * optionally, its conformal interval coverage on the reference set
+      reaches ``min_interval_coverage`` (a candidate whose uncertainty
+      intervals stop covering the truth would turn the serving
+      abstention gate into a liar, however good its point MAE looks).
     """
 
     min_shadow_requests: int = 25
     min_finite_fraction: float = 1.0
     max_reference_mae_ratio: float = 1.25
     max_shadow_delta: Optional[float] = None
+    min_interval_coverage: Optional[float] = None
 
     def __post_init__(self):
         if self.min_shadow_requests < 1:
@@ -135,12 +144,17 @@ class PromotionGate:
             raise ValueError("min_finite_fraction must be in (0, 1]")
         if self.max_reference_mae_ratio <= 0:
             raise ValueError("max_reference_mae_ratio must be positive")
+        if self.min_interval_coverage is not None and not (
+            0.0 < self.min_interval_coverage <= 1.0
+        ):
+            raise ValueError("min_interval_coverage must be in (0, 1]")
 
     def decide(
         self,
         stats: ShadowStats,
         candidate_mae: float,
         primary_mae: float,
+        interval_coverage: Optional[float] = None,
     ) -> GateDecision:
         reasons = []
         if stats.requests < self.min_shadow_requests:
@@ -155,6 +169,13 @@ class PromotionGate:
             mean_delta = stats.mean_delta
             if mean_delta is None or mean_delta > self.max_shadow_delta:
                 reasons.append("shadow_delta_excessive")
+        if self.min_interval_coverage is not None:
+            if interval_coverage is None:
+                reasons.append("interval_coverage_unavailable")
+            elif not np.isfinite(interval_coverage) or (
+                interval_coverage < self.min_interval_coverage
+            ):
+                reasons.append("interval_coverage_low")
         return GateDecision(
             promote=not reasons,
             reasons=tuple(reasons),
@@ -162,6 +183,10 @@ class PromotionGate:
                 **stats.as_dict(),
                 "candidate_reference_mae": float(candidate_mae),
                 "primary_reference_mae": float(primary_mae),
+                "interval_coverage": (
+                    None if interval_coverage is None
+                    else float(interval_coverage)
+                ),
             },
         )
 
@@ -192,6 +217,7 @@ class AdaptationController:
         recalibrate: Optional[Callable] = None,
         cooldown_observations: int = 10,
         watch_observations: int = 30,
+        coverage_probe: Optional[Callable] = None,
         registry=None,
         tracer=None,
     ):
@@ -208,6 +234,12 @@ class AdaptationController:
         self.recalibrate = recalibrate
         self.cooldown_observations = int(cooldown_observations)
         self.watch_observations = int(watch_observations)
+        # Optional uncertainty probe: coverage_probe(candidate_model) ->
+        # conformal interval coverage on held-out data, consumed by the
+        # gate's min_interval_coverage check.  A probe that raises reads
+        # as "coverage unavailable" — the gate then refuses if it
+        # requires coverage, which is the safe direction.
+        self.coverage_probe = coverage_probe
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.state = "nominal"
@@ -282,7 +314,7 @@ class AdaptationController:
                     drift=_drift_record(status),
                 )
                 self._m_rejections.inc(stage="recalibrate")
-                self._cooldown = self.cooldown_observations
+                self._cooldown = self._cooldown_after(status)
                 return "recalibrate_failed"
             self.start_shadow(candidate, status=status)
             return "shadow_started"
@@ -320,6 +352,7 @@ class AdaptationController:
                     "min_shadow_requests": self.gate.min_shadow_requests,
                     "min_finite_fraction": self.gate.min_finite_fraction,
                     "max_reference_mae_ratio": self.gate.max_reference_mae_ratio,
+                    "min_interval_coverage": self.gate.min_interval_coverage,
                 },
                 drift=_drift_record(status),
             )
@@ -366,8 +399,15 @@ class AdaptationController:
         )
         candidate_mae = self._reference_mae(self.candidate)
         primary_mae = self._reference_mae(self.model)
+        coverage = None
+        if self.coverage_probe is not None:
+            try:
+                coverage = float(self.coverage_probe(self.candidate))
+            except Exception:
+                coverage = None
         decision = self.gate.decide(
-            self.shadow_stats, candidate_mae, primary_mae
+            self.shadow_stats, candidate_mae, primary_mae,
+            interval_coverage=coverage,
         )
         self.last_decision = decision
         span.set_attribute("promote", decision.promote)
@@ -465,12 +505,42 @@ class AdaptationController:
             analyzer, batch = self._analyzers(self.model)
             self.service.swap_analyzer(analyzer, batch)
             self._m_rollbacks.inc()
-            self._cooldown = self.cooldown_observations
+            self._cooldown = self._cooldown_after(status)
             self._watch_remaining = 0
             self._set_state("nominal")
             span.end()
 
     # -- internals -----------------------------------------------------------
+
+    def _cooldown_after(self, status) -> int:
+        """Severity-scaled backoff, hardened against ``inf``/NaN severity.
+
+        :attr:`DriftStatus.severity` is documented to return ``inf``
+        against a zero baseline, and duck-typed statuses can hand us NaN
+        — naive arithmetic (``base / severity``, ``int(...)``) would
+        raise or produce a zero/negative cooldown and spin the
+        controller into retrying every observation.  The rules:
+
+        * no status / no usable severity / NaN → the full base cooldown
+          (unknown severity is *not* a reason to retry faster);
+        * severity <= 1 (nominal or sub-nominal) → the full base cooldown;
+        * severe drift shortens the backoff — the more anomalous the
+          signal, the sooner a retry is warranted — but the scale is
+          clamped (``inf`` included) so the result is always a finite
+          int of at least 1.
+        """
+        base = self.cooldown_observations
+        severity = getattr(status, "severity", None)
+        if severity is None:
+            return base
+        try:
+            severity = float(severity)
+        except (TypeError, ValueError):
+            return base
+        if np.isnan(severity) or severity <= 1.0:
+            return base
+        scale = min(severity, _MAX_COOLDOWN_SCALE)
+        return max(1, int(np.ceil(base / scale)))
 
     def _analyzers(self, model):
         """(single, batched-or-None) analyzers over ``model``."""

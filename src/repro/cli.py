@@ -239,6 +239,97 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown cache action {args.action!r}")
 
 
+def _cmd_uncertainty(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.uncertainty import (
+        AbstentionPolicy,
+        ConformalCalibrator,
+        EnsembleSpec,
+        UncertaintyGate,
+        train_ensemble,
+    )
+    from repro.uncertainty.predictors import _build_simulator
+
+    compounds = tuple(c for c in args.compounds.split(",") if c)
+    spec = EnsembleSpec(
+        compounds=compounds,
+        axis=(1.0, 50.0, 0.5),
+        n_train=args.n,
+        epochs=args.epochs,
+        hidden_units=(16,),
+        n_members=args.members,
+        seed=args.seed,
+    )
+    predictor = train_ensemble(spec)
+    simulator = _build_simulator(spec)
+    cal_x, cal_y = simulator.generate_dataset(
+        compounds, max(64, args.n // 4), np.random.default_rng(args.seed + 1)
+    )
+    test_x, test_y = simulator.generate_dataset(
+        compounds, max(64, args.n // 4), np.random.default_rng(args.seed + 2)
+    )
+    calibrator = ConformalCalibrator(alpha=args.alpha)
+    calibrator.calibrate(predictor.predict(cal_x), cal_y)
+    report = calibrator.report()
+    prediction = predictor.predict(test_x)
+    coverage = calibrator.coverage(prediction, test_y)
+    widths = calibrator.width(prediction)
+
+    print(f"ensemble: {spec.n_members} members x {spec.epochs} epochs "
+          f"on {spec.n_train} spectra ({','.join(compounds)})")
+    print("calibration:")
+    print(f"  alpha:            {report['alpha']:.3f}  "
+          f"(nominal coverage {report['nominal_coverage']:.0%})")
+    print(f"  q_hat:            {report['q_hat']:.4f}")
+    print(f"  calibration rows: {report['n_calibration']}")
+    print(f"held-out ({len(test_x)} rows):")
+    print(f"  empirical coverage: {coverage:.1%}")
+    print(f"  interval width p50: {float(np.median(widths)):.4f}  "
+          f"p95: {float(np.percentile(widths, 95)):.4f}")
+
+    if not args.demo:
+        return 0
+
+    print()
+    print("-- OOD abstention walkthrough "
+          "(in-distribution vs noise spectra) --")
+    from repro.serving import AnalysisService
+
+    policy = AbstentionPolicy(
+        max_width=4.0 * float(np.percentile(widths, 95))
+    )
+    gate = UncertaintyGate(predictor, calibrator, policy)
+    service = AnalysisService(
+        analyzer=lambda data: predictor.predict_mean(data[np.newaxis, :])[0],
+        workers=2,
+        queue_size=32,
+        expected_length=test_x.shape[1],
+        uncertainty=gate,
+    )
+    rng = np.random.default_rng(args.seed + 3)
+    with service:
+        for row in test_x[:8]:
+            result = service.analyze(row)
+            label = type(result).__name__
+            print(f"  in-dist  -> {label}")
+        for _ in range(8):
+            noise = rng.random(test_x.shape[1])
+            noise /= noise.max()
+            result = service.analyze(noise)
+            label = type(result).__name__
+            extra = (
+                f" (reason={result.reason}, width={result.width:.3f})"
+                if label == "Abstained" else ""
+            )
+            print(f"  noise    -> {label}{extra}")
+    stats = service.stats()
+    print(f"served: {stats['completed']}  abstained: {stats['abstained']} "
+          f"{stats['abstentions']}  abstention rate: "
+          f"{stats['abstention_rate']:.1%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -314,6 +405,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", required=True, help="cache root directory"
     )
     cache.set_defaults(func=_cmd_cache)
+
+    uncertainty = sub.add_parser(
+        "uncertainty",
+        help="train a small ensemble, render its conformal calibration "
+             "table; --demo walks an OOD abstention scenario",
+    )
+    uncertainty.add_argument("--compounds", default="H2,N2,O2")
+    uncertainty.add_argument("--members", type=int, default=3)
+    uncertainty.add_argument("--alpha", type=float, default=0.1)
+    uncertainty.add_argument("--n", type=int, default=256)
+    uncertainty.add_argument("--epochs", type=int, default=3)
+    uncertainty.add_argument("--seed", type=int, default=0)
+    uncertainty.add_argument(
+        "--demo", action="store_true",
+        help="serve in-distribution and noise spectra through a gated "
+             "AnalysisService and show Completed vs Abstained outcomes",
+    )
+    uncertainty.set_defaults(func=_cmd_uncertainty)
 
     return parser
 

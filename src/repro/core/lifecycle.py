@@ -58,6 +58,20 @@ class DriftStatus:
             return float("inf") if self.ewma_residual > 0 else 1.0
         return self.ewma_residual / self.baseline_residual
 
+    def clamped_severity(self, cap: float = 1e6) -> float:
+        """Severity as a *finite* float, safe for arithmetic consumers.
+
+        ``severity`` can legitimately be ``inf`` (zero baseline, see
+        above); code that scales cooldowns, budgets or backoffs by
+        severity must never let that propagate into its arithmetic.
+        ``inf`` clamps to ``cap``; a NaN (impossible from this class but
+        cheap to guard for duck-typed callers) reads as nominal ``1.0``.
+        """
+        severity = self.severity
+        if np.isnan(severity):
+            return 1.0
+        return float(min(severity, cap))
+
     def to_record(self) -> dict:
         """A JSON-portable encoding of this status.
 

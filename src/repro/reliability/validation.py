@@ -242,15 +242,27 @@ def validate_predictions(
     values,
     *,
     n_outputs: Optional[int] = None,
+    min_value: Optional[float] = 0.0,
+    max_value: Optional[float] = None,
+    tolerance: float = 1e-9,
     field: str = "prediction",
 ) -> np.ndarray:
-    """Gate for model *outputs*: numeric, 2-D (batch, outputs), finite.
+    """Gate for model *outputs*: numeric, 2-D (batch, outputs), finite,
+    physically plausible.
 
     The output-side twin of :func:`validate_batch`, applied to candidate
     models before they are trusted with traffic — a recalibrated network
     whose predictions contain NaN (poisoned fine-tune data, diverged
     optimizer) is rejected here with the same typed taxonomy the input
     gates use.
+
+    Predictions are concentrations, and a negative concentration is
+    physically impossible — yet it is perfectly finite, so it used to
+    sail through this gate.  ``min_value`` (default ``0.0``) now raises
+    :class:`RangeError` for it; ``tolerance`` absorbs the last-ulp
+    negative dust a linear output head can emit for a true zero without
+    letting a genuinely negative prediction through.  Pass
+    ``min_value=None`` to disable the bound for signed outputs.
     """
     array = ensure_array(values, field=field)
     ensure_shape(array, ndim=2, field=field)
@@ -261,4 +273,12 @@ def validate_predictions(
             detail={"expected": n_outputs, "outputs": int(array.shape[1])},
         )
     ensure_finite(array, field=field)
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    ensure_range(
+        array,
+        min_value=None if min_value is None else min_value - tolerance,
+        max_value=None if max_value is None else max_value + tolerance,
+        field=field,
+    )
     return array

@@ -10,8 +10,11 @@ hold under load and failure:
 * :mod:`repro.serving.service` — :class:`AnalysisService`, a thread-pool
   frontend with a bounded request queue, per-request deadlines, admission
   validation (via :mod:`repro.reliability.validation`), an output
-  finiteness gate, and explicit :class:`Rejected` results for every shed
-  or failed request;
+  finiteness gate, explicit :class:`Rejected` results for every shed
+  or failed request, and — with an
+  :class:`~repro.uncertainty.policy.UncertaintyGate` installed —
+  explicit :class:`Abstained` results when the calibrated prediction
+  interval is too wide to vouch for an answer;
 * :mod:`repro.serving.batching` — the batched fast path's control
   plane: :class:`BatchingPolicy` (adaptive coalescing: dispatch when the
   batch fills or a load-shrinking max-wait expires) and
@@ -39,6 +42,7 @@ from repro.serving.circuit import (
 )
 from repro.serving.loading import analyzer_from_checkpoint, load_verified_model
 from repro.serving.service import (
+    Abstained,
     AnalysisService,
     Completed,
     PendingRequest,
@@ -46,6 +50,7 @@ from repro.serving.service import (
 )
 
 __all__ = [
+    "Abstained",
     "AnalysisService",
     "analyzer_from_checkpoint",
     "batch_analyzer_from_model",

@@ -89,9 +89,14 @@ class BatchingPolicy:
 class BrownoutLevel:
     """One declared degradation step.
 
-    A level activates when queue fill reaches ``enter_fill`` *or*
-    completed-request p95 reaches ``enter_p95_s``.  Its knobs state the
-    full service posture at that level (levels do not stack):
+    A level activates when queue fill reaches ``enter_fill``, *or*
+    completed-request p95 reaches ``enter_p95_s``, *or* the service's
+    rolling abstention rate reaches ``enter_abstain_rate`` (only
+    meaningful when an uncertainty gate is installed — a surging rate
+    means traffic has left the training distribution, and degrading
+    early keeps capacity for the rows the gate will still vouch for).
+    Its knobs state the full service posture at that level (levels do
+    not stack):
 
     * ``batch_growth`` — multiplier on ``BatchingPolicy.max_batch``;
     * ``deadline_factor`` — multiplier on admission deadlines;
@@ -103,6 +108,7 @@ class BrownoutLevel:
     name: str
     enter_fill: float = math.inf
     enter_p95_s: float = math.inf
+    enter_abstain_rate: float = math.inf
     batch_growth: float = 1.0
     deadline_factor: float = 1.0
     min_priority: Optional[int] = None
@@ -127,15 +133,17 @@ class BrownoutTransition:
     to_level: int
     queue_fill: float
     p95_s: Optional[float]
+    abstain_rate: Optional[float] = None
 
 
 class BrownoutGovernor:
-    """Hysteretic level walker over queue depth and p95 latency.
+    """Hysteretic level walker over queue depth, p95 latency and
+    abstention rate.
 
-    ``observe(fill, p95_s)`` is the only input; it returns the current
-    level index (0 = normal).  Escalation is immediate — the highest
-    level whose enter threshold is crossed wins.  De-escalation is one
-    level at a time and only after both signals have stayed below
+    ``observe(fill, p95_s, abstain_rate)`` is the only input; it returns
+    the current level index (0 = normal).  Escalation is immediate — the
+    highest level whose enter threshold is crossed wins.  De-escalation
+    is one level at a time and only after every signal has stayed below
     ``hysteresis`` × the current level's enter thresholds for
     ``hold_s`` seconds of the injectable ``clock``.
 
@@ -208,18 +216,25 @@ class BrownoutGovernor:
 
     # -- observation -------------------------------------------------------
 
-    def _target_for(self, fill: float, p95_s: Optional[float]) -> int:
+    def _target_for(self, fill: float, p95_s: Optional[float],
+                    abstain_rate: Optional[float]) -> int:
         target = 0
         for index, level in enumerate(self.levels[1:], start=1):
-            if fill >= level.enter_fill or (
-                p95_s is not None and p95_s >= level.enter_p95_s
+            if (
+                fill >= level.enter_fill
+                or (p95_s is not None and p95_s >= level.enter_p95_s)
+                or (
+                    abstain_rate is not None
+                    and abstain_rate >= level.enter_abstain_rate
+                )
             ):
                 target = index
         return target
 
     def _calm_below(self, level_index: int, fill: float,
-                    p95_s: Optional[float]) -> bool:
-        """Are both signals under the exit threshold of ``level_index``?"""
+                    p95_s: Optional[float],
+                    abstain_rate: Optional[float]) -> bool:
+        """Are all signals under the exit threshold of ``level_index``?"""
         level = self.levels[level_index]
         if math.isfinite(level.enter_fill):
             if fill >= self.hysteresis * level.enter_fill:
@@ -227,22 +242,28 @@ class BrownoutGovernor:
         if math.isfinite(level.enter_p95_s) and p95_s is not None:
             if p95_s >= self.hysteresis * level.enter_p95_s:
                 return False
+        if math.isfinite(level.enter_abstain_rate) and abstain_rate is not None:
+            if abstain_rate >= self.hysteresis * level.enter_abstain_rate:
+                return False
         return True
 
-    def observe(self, fill: float, p95_s: Optional[float] = None) -> int:
+    def observe(self, fill: float, p95_s: Optional[float] = None,
+                abstain_rate: Optional[float] = None) -> int:
         fill = float(fill)
         now = float(self.clock())
         with self._lock:
-            target = self._target_for(fill, p95_s)
+            target = self._target_for(fill, p95_s, abstain_rate)
             if target > self._level:
-                self._shift(target, now, fill, p95_s)
+                self._shift(target, now, fill, p95_s, abstain_rate)
             elif self._level > 0 and target < self._level:
-                if self._calm_below(self._level, fill, p95_s):
+                if self._calm_below(self._level, fill, p95_s, abstain_rate):
                     if self._below_since is None:
                         self._below_since = now
                     elif now - self._below_since >= self.hold_s:
                         # One step down per hold period — no cliff dives.
-                        self._shift(self._level - 1, now, fill, p95_s)
+                        self._shift(
+                            self._level - 1, now, fill, p95_s, abstain_rate
+                        )
                 else:
                     self._below_since = None
             else:
@@ -253,6 +274,7 @@ class BrownoutGovernor:
         self,
         fill: float,
         p95_fn: Optional[Callable[[], Optional[float]]] = None,
+        abstain_rate_fn: Optional[Callable[[], Optional[float]]] = None,
     ) -> int:
         now = float(self.clock())
         with self._lock:
@@ -260,16 +282,21 @@ class BrownoutGovernor:
                 return self._level
             self._last_sample = now
         p95_s = p95_fn() if p95_fn is not None else None
-        return self.observe(fill, p95_s)
+        abstain_rate = (
+            abstain_rate_fn() if abstain_rate_fn is not None else None
+        )
+        return self.observe(fill, p95_s, abstain_rate)
 
     def _shift(self, to_level: int, now: float, fill: float,
-               p95_s: Optional[float]) -> None:
+               p95_s: Optional[float],
+               abstain_rate: Optional[float] = None) -> None:
         transition = BrownoutTransition(
             at=now,
             from_level=self._level,
             to_level=to_level,
             queue_fill=fill,
             p95_s=p95_s,
+            abstain_rate=abstain_rate,
         )
         self.transitions.append(transition)
         self._level = to_level

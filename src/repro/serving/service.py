@@ -10,17 +10,22 @@ a persistently failing analyzer is isolated instead of hammered, input
 validation gates at admission, and an output gate that guarantees a
 non-finite concentration is never handed to a caller.
 
-Every request terminates in exactly one of two explicit results:
+Every request terminates in exactly one explicit result:
 
 * :class:`Completed` — validated input, finite output, within deadline;
 * :class:`Rejected` — with a machine-readable ``reason`` naming which
   defence fired (``queue_full``, ``deadline_*``, ``circuit_open``,
   ``invalid_input``, ``analyzer_error``, ``nonfinite_output``,
-  ``brownout_shed``, ``shutdown``).
+  ``brownout_shed``, ``shutdown``);
+* :class:`Abstained` — only when an uncertainty gate is installed (pass
+  ``uncertainty=UncertaintyGate(...)``): the input was valid and the
+  backend healthy, but the calibrated prediction interval was too wide
+  to vouch for the answer, so the service refuses with the interval
+  attached instead of serving a confident guess.
 
-There is no third outcome and no hang: the chaos test drives the service
-with malformed spectra, slow analyzers and burst load concurrently and
-asserts exactly this.
+There is no other outcome and no hang: the chaos tests drive the service
+with malformed spectra, slow analyzers, OOD floods and burst load
+concurrently and assert exactly this.
 
 Two opt-in control layers ride on the same contract:
 
@@ -50,6 +55,7 @@ import queue
 import threading
 import time
 import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -66,7 +72,13 @@ from repro.serving.batching import (
 )
 from repro.serving.circuit import CircuitBreaker
 
-__all__ = ["Completed", "Rejected", "PendingRequest", "AnalysisService"]
+__all__ = [
+    "Completed",
+    "Rejected",
+    "Abstained",
+    "PendingRequest",
+    "AnalysisService",
+]
 
 # Batch-size distribution buckets (requests per dispatch, not seconds).
 _BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -98,6 +110,36 @@ class Rejected:
     @property
     def ok(self) -> bool:
         return False
+
+
+@dataclass(frozen=True)
+class Abstained:
+    """An honest "I don't know": valid input, healthy backend, interval
+    too wide to vouch for the point estimate.
+
+    ``value`` is the (finite) point prediction the service declined to
+    serve, ``lower``/``upper`` the calibrated interval that was too wide,
+    ``reason`` one of the gate's ``REASON_*`` constants.  Not a failure:
+    abstention never trips the circuit breaker and never counts against
+    a degradation ladder — but ``ok`` is ``False`` because the caller
+    did not get an answer it may act on.
+    """
+
+    reason: str
+    value: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    width: float = float("inf")
+    request_id: int = -1
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @property
+    def interval(self):
+        return self.lower, self.upper
 
 
 class PendingRequest:
@@ -173,6 +215,18 @@ class PendingRequest:
 
 _SHUTDOWN = object()
 
+# swap_analyzer sentinel: "leave the uncertainty gate as it is".
+_KEEP = object()
+
+
+def _outcome_label(result) -> str:
+    """The metric/span outcome label for a terminal result."""
+    if result.ok:
+        return "completed"
+    if isinstance(result, Abstained):
+        return "abstained"
+    return result.reason
+
 
 class AnalysisService:
     """Bounded-queue, deadline-aware, circuit-broken analyzer frontend.
@@ -212,6 +266,7 @@ class AnalysisService:
         batch_analyzer: Optional[Callable] = None,
         governor: Optional[BrownoutGovernor] = None,
         shadow_tap: Optional[Callable] = None,
+        uncertainty=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -236,6 +291,11 @@ class AnalysisService:
         # Shadow tap: called as tap(data, value) after every *served*
         # completion (see set_shadow_tap).  Never on rejections.
         self.shadow_tap = shadow_tap
+        # Uncertainty gate: any object with assess(matrix) -> Assessment
+        # (see repro.uncertainty.policy.UncertaintyGate).  When set, it
+        # replaces the analyzer as the prediction source and every row
+        # gains a serve/abstain decision.
+        self.uncertainty = uncertainty
         self.model_swaps = 0
         if governor is not None and governor.on_transition is None:
             governor.on_transition = self._on_brownout
@@ -275,6 +335,14 @@ class AnalysisService:
             "serving_shadow_tap_errors_total",
             "shadow tap invocations that raised (served result unaffected)",
         )
+        self._m_abstentions = self.registry.counter(
+            "serving_abstentions_total",
+            "requests refused by the uncertainty gate, by reason",
+        )
+        self._m_abstain_rate = self.registry.gauge(
+            "serving_abstention_rate",
+            "abstained fraction of recently answered requests",
+        )
         # Bound series: the label sets are fixed per service instance, so
         # the hot path skips the per-call label-key computation.
         self._b_submitted = self._m_submitted.labels(service=self.name)
@@ -285,6 +353,7 @@ class AnalysisService:
         self._b_brownout = self._m_brownout.labels(service=self.name)
         self._b_swaps = self._m_swaps.labels(service=self.name)
         self._b_tap_errors = self._m_tap_errors.labels(service=self.name)
+        self._b_abstain_rate = self._m_abstain_rate.labels(service=self.name)
         self._b_outcomes: Dict[str, tuple] = {}
         # Every live PendingRequest, so stop() can refuse whatever a hung
         # worker leaves unresolved instead of stranding its caller.
@@ -297,6 +366,11 @@ class AnalysisService:
         self.submitted = 0
         self.completed = 0
         self.rejections: Dict[str, int] = {}
+        self.abstentions: Dict[str, int] = {}
+        # Rolling serve/abstain window over *answered* requests (completed
+        # or abstained; queue-level refusals say nothing about the model).
+        # Feeds the brownout governor's abstain-rate trigger.
+        self._answers = deque(maxlen=64)
 
     @classmethod
     def from_checkpoint(
@@ -508,8 +582,12 @@ class AnalysisService:
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "rejections": dict(self.rejections),
+                "abstentions": dict(self.abstentions),
+                "abstained": sum(self.abstentions.values()),
                 "circuit_state": self.breaker.state,
             }
+        if self.uncertainty is not None:
+            base["abstention_rate"] = self.abstention_rate()
         base["queue_depth"] = self._b_queue_depth.value()
         base["inflight"] = self._b_inflight.value()
         latency: Dict[str, Dict[str, object]] = {}
@@ -537,6 +615,22 @@ class AnalysisService:
             base["model_swaps"] = self.model_swaps
         return base
 
+    def abstention_rate(self) -> Optional[float]:
+        """Abstained fraction of recently *answered* requests.
+
+        Queue-level refusals are excluded — they say nothing about the
+        model's confidence.  ``None`` until the first answer.  This is
+        the signal the brownout governor's ``enter_abstain_rate``
+        trigger consumes: a surging rate usually means the traffic has
+        left the training distribution, and shedding load will not fix
+        that — but it does stop the service burning batch capacity on
+        rows it will refuse anyway.
+        """
+        with self._stats_lock:
+            if not self._answers:
+                return None
+            return float(sum(self._answers)) / len(self._answers)
+
     # -- adaptation hooks ---------------------------------------------------
 
     def set_shadow_tap(self, tap: Optional[Callable]) -> None:
@@ -558,6 +652,7 @@ class AnalysisService:
         self,
         analyzer: Callable,
         batch_analyzer: Optional[Callable] = None,
+        uncertainty=_KEEP,
     ) -> None:
         """Hot-swap the backend model without a restart or a dropped request.
 
@@ -567,12 +662,22 @@ class AnalysisService:
         backend — passing ``None`` clears it rather than leaving a stale
         batched path serving the previous model (the service then maps
         the single-request analyzer over batches).
+
+        ``uncertainty`` defaults to *keep the current gate* (existing
+        callers — the adaptation controller included — are unaware of
+        gates).  Pass a new gate to swap it atomically with the model,
+        or ``None`` to remove gating.  A service serving through a gate
+        ignores the analyzers for predictions, so swapping the model
+        under an unchanged gate only affects the ungated fallback paths;
+        swap the gate too when its predictor should follow the model.
         """
         span = self.tracer.start_span(
             "serving.swap", attributes={"service": self.name}
         )
         self.analyzer = analyzer
         self.batch_analyzer = batch_analyzer
+        if uncertainty is not _KEEP:
+            self.uncertainty = uncertainty
         with self._stats_lock:
             self.model_swaps += 1
         self._b_swaps.inc()
@@ -745,10 +850,17 @@ class AnalysisService:
             )
             matrix = np.stack([data for _, data in valid])
             started = float(self.clock())
+            assessment = None
             try:
-                values = np.asarray(
-                    self._call_batch_analyzer(matrix), dtype=np.float64
-                )
+                if self.uncertainty is not None:
+                    assessment = self._assess(
+                        matrix, batch_span, valid[0][0].request_id
+                    )
+                    values = np.asarray(assessment.mean, dtype=np.float64)
+                else:
+                    values = np.asarray(
+                        self._call_batch_analyzer(matrix), dtype=np.float64
+                    )
                 if values.shape[0] != len(valid):
                     raise RuntimeError(
                         f"batch analyzer returned {values.shape[0]} rows "
@@ -800,6 +912,14 @@ class AnalysisService:
                         ),
                         parent_span=request._queue_span,
                     )
+                elif assessment is not None and assessment.abstain[index]:
+                    # Per-row abstention: one OOD spectrum refuses only
+                    # itself, never its batchmates.
+                    self._finish(
+                        request,
+                        self._abstained(request, assessment, index),
+                        parent_span=request._queue_span,
+                    )
                 else:
                     self._finish(
                         request,
@@ -828,11 +948,20 @@ class AnalysisService:
             if request.resolved:
                 continue
             started = float(self.clock())
+            assessment = None
             try:
-                row = np.asarray(
-                    self._call_batch_analyzer(data[np.newaxis, ...])[0],
-                    dtype=np.float64,
-                )
+                if self.uncertainty is not None:
+                    assessment = self._assess(
+                        data[np.newaxis, :],
+                        request._queue_span,
+                        request.request_id,
+                    )
+                    row = np.asarray(assessment.mean[0], dtype=np.float64)
+                else:
+                    row = np.asarray(
+                        self._call_batch_analyzer(data[np.newaxis, ...])[0],
+                        dtype=np.float64,
+                    )
             except Exception as error:
                 self._finish(
                     request,
@@ -875,6 +1004,13 @@ class AnalysisService:
                     parent_span=request._queue_span,
                 )
                 continue
+            if assessment is not None and assessment.abstain[0]:
+                self._finish(
+                    request,
+                    self._abstained(request, assessment, 0),
+                    parent_span=request._queue_span,
+                )
+                continue
             self._finish(
                 request,
                 Completed(
@@ -907,7 +1043,11 @@ class AnalysisService:
 
     def _observe_governor(self) -> int:
         return self.governor.maybe_observe(
-            self._queue.qsize() / self.queue_size, self._completed_p95
+            self._queue.qsize() / self.queue_size,
+            self._completed_p95,
+            abstain_rate_fn=(
+                self.abstention_rate if self.uncertainty is not None else None
+            ),
         )
 
     def _completed_p95(self) -> Optional[float]:
@@ -1000,8 +1140,16 @@ class AnalysisService:
             )
             return
         started = float(self.clock())
+        assessment = None
         try:
-            value, analyzer_seconds = self._call_analyzer(data, started)
+            if self.uncertainty is not None:
+                assessment = self._assess(
+                    data[np.newaxis, :], analyze_span, request.request_id
+                )
+                value = assessment.mean[0]
+                analyzer_seconds = float(self.clock()) - started
+            else:
+                value, analyzer_seconds = self._call_analyzer(data, started)
         except Exception as error:
             self.breaker.record_failure()
             analyze_span.end(status=f"error: {type(error).__name__}")
@@ -1047,7 +1195,20 @@ class AnalysisService:
                 parent_span=analyze_span,
             )
             return
+        # The backend answered with something finite and in budget: a
+        # healthy episode for the breaker even if the gate now abstains —
+        # abstention is the *gate* distrusting the answer, not the
+        # backend failing to produce one.
         self.breaker.record_success()
+        if assessment is not None and assessment.abstain[0]:
+            analyze_span.set_attribute("outcome", "abstained")
+            analyze_span.end()
+            self._finish(
+                request,
+                self._abstained(request, assessment, 0),
+                parent_span=analyze_span,
+            )
+            return
         analyze_span.end()
         self._finish(
             request,
@@ -1071,11 +1232,44 @@ class AnalysisService:
             return result[0], float(result[1])
         return result, float(self.clock()) - started
 
+    def _assess(self, matrix: np.ndarray, parent_span, first_request_id: int):
+        """Run the uncertainty gate under its own span."""
+        span = self.tracer.start_span(
+            "serving.uncertainty",
+            parent=parent_span,
+            attributes={
+                "service": self.name,
+                "rows": int(matrix.shape[0]),
+                "first_request_id": first_request_id,
+            },
+        )
+        try:
+            assessment = self.uncertainty.assess(matrix)
+        except Exception as error:
+            span.end(status=f"error: {type(error).__name__}")
+            raise
+        span.set_attribute("abstained_rows", int(assessment.abstain.sum()))
+        span.end()
+        return assessment
+
+    def _abstained(self, request: PendingRequest, assessment, row: int):
+        """Build the ``Abstained`` result for one assessed row."""
+        lower, upper = assessment.row_interval(row)
+        return Abstained(
+            reason=assessment.reasons[row],
+            value=np.asarray(assessment.mean[row], dtype=np.float64).copy(),
+            lower=np.asarray(lower, dtype=np.float64).copy(),
+            upper=np.asarray(upper, dtype=np.float64).copy(),
+            width=float(assessment.width[row]),
+            request_id=request.request_id,
+            latency_s=request.latency(),
+        )
+
     # -- bookkeeping -------------------------------------------------------
 
     def _finish(self, request: PendingRequest, result, parent_span=None) -> None:
         """Resolve under a ``serving.resolve`` span closing the trace chain."""
-        outcome = "completed" if result.ok else result.reason
+        outcome = _outcome_label(result)
         span = self.tracer.start_span(
             "serving.resolve",
             parent=parent_span,
@@ -1097,10 +1291,25 @@ class AnalysisService:
 
     def _record(self, result) -> None:
         """Count every resolution exactly once, whoever resolved it."""
-        outcome = "completed" if result.ok else result.reason
+        outcome = _outcome_label(result)
         with self._stats_lock:
             if isinstance(result, Completed):
                 self.completed += 1
+                self._answers.append(0)
+                self._b_abstain_rate.set(
+                    sum(self._answers) / len(self._answers)
+                )
+            elif isinstance(result, Abstained):
+                self.abstentions[result.reason] = (
+                    self.abstentions.get(result.reason, 0) + 1
+                )
+                self._answers.append(1)
+                self._b_abstain_rate.set(
+                    sum(self._answers) / len(self._answers)
+                )
+                self._m_abstentions.inc(
+                    service=self.name, reason=result.reason
+                )
             else:
                 self.rejections[result.reason] = (
                     self.rejections.get(result.reason, 0) + 1

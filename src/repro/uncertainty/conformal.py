@@ -1,0 +1,182 @@
+"""Split-conformal calibration: spread → finite-sample intervals.
+
+Raw ensemble/MC-dropout spread is a useful *ordering* of difficulty but
+carries no coverage promise.  Split conformal fixes that with one held
+out calibration set and no distributional assumptions: compute each
+calibration row's normalized nonconformity score
+
+    s_i = max_j |y_ij - mean_ij| / (std_ij + gamma)
+
+take ``q_hat`` as the ``ceil((n + 1) * (1 - alpha)) / n`` empirical
+quantile of the scores, and predict the interval
+
+    mean_j -/+ q_hat * (std_j + gamma)
+
+For exchangeable data the interval covers the whole output row with
+probability >= ``1 - alpha`` — a finite-sample guarantee, not an
+asymptotic one.  ``gamma`` floors the spread so rows where members
+happen to agree exactly still get a nonzero-width interval.
+
+A fitted calibrator is an artifact like any other: :meth:`save` writes
+the checksummed :mod:`repro.storage.integrity` envelope atomically and
+optionally journals the event, :meth:`load` verifies on read and raises
+:class:`~repro.storage.integrity.CorruptArtifactError` on tampering.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.storage.integrity import atomic_write_bytes, read_envelope, wrap
+from repro.uncertainty.predictors import UncertainPrediction
+
+__all__ = ["ConformalCalibrator"]
+
+_PAYLOAD_KIND = "conformal_calibrator"
+_PAYLOAD_VERSION = 1
+
+
+class ConformalCalibrator:
+    """Split-conformal interval calibration over mean + spread."""
+
+    def __init__(self, alpha: float = 0.1, gamma: float = 1e-3):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if gamma <= 0.0:
+            raise ValueError(f"gamma must be > 0, got {gamma}")
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+        self.q_hat: Optional[float] = None
+        self.n_calibration = 0
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self.q_hat is not None
+
+    # -- fitting -------------------------------------------------------------
+
+    def calibrate(self, prediction: UncertainPrediction, y: np.ndarray) -> float:
+        """Fit ``q_hat`` from calibration predictions and true labels.
+
+        With fewer than ``ceil((n + 1) * (1 - alpha))`` rows the exact
+        finite-sample quantile does not exist and ``q_hat`` is ``inf`` —
+        honest refusal to promise coverage the sample cannot support
+        (every downstream interval is infinite, so the abstention policy
+        refuses everything until a real calibration lands).
+        """
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != prediction.mean.shape:
+            raise ValueError(
+                f"labels shape {y.shape} does not match predictions "
+                f"{prediction.mean.shape}"
+            )
+        if not np.all(np.isfinite(y)):
+            raise ValueError("calibration labels must be finite")
+        n = prediction.n_rows
+        if n < 1:
+            raise ValueError("calibration set must be non-empty")
+        scores = self._scores(prediction, y)
+        rank = math.ceil((n + 1) * (1.0 - self.alpha))
+        if rank > n:
+            self.q_hat = math.inf
+        else:
+            self.q_hat = float(np.sort(scores)[rank - 1])
+        self.n_calibration = n
+        return self.q_hat
+
+    def _scores(self, prediction: UncertainPrediction, y: np.ndarray) -> np.ndarray:
+        residual = np.abs(y - prediction.mean)
+        return np.max(residual / (prediction.std + self.gamma), axis=1)
+
+    # -- intervals -----------------------------------------------------------
+
+    def interval(
+        self, prediction: UncertainPrediction
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row ``(lower, upper)`` prediction intervals."""
+        if not self.is_calibrated:
+            raise RuntimeError("calibrate() before requesting intervals")
+        margin = self.q_hat * (prediction.std + self.gamma)
+        return prediction.mean - margin, prediction.mean + margin
+
+    def width(self, prediction: UncertainPrediction) -> np.ndarray:
+        """Per-row mean interval width (averaged over outputs)."""
+        lower, upper = self.interval(prediction)
+        return np.mean(upper - lower, axis=1)
+
+    def coverage(self, prediction: UncertainPrediction, y: np.ndarray) -> float:
+        """Fraction of rows whose *entire* output vector is covered."""
+        y = np.asarray(y, dtype=np.float64)
+        lower, upper = self.interval(prediction)
+        covered = np.all((y >= lower) & (y <= upper), axis=1)
+        return float(np.mean(covered))
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": _PAYLOAD_KIND,
+            "version": _PAYLOAD_VERSION,
+            "alpha": self.alpha,
+            "gamma": self.gamma,
+            "q_hat": self.q_hat,
+            "n_calibration": self.n_calibration,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ConformalCalibrator":
+        if payload.get("kind") != _PAYLOAD_KIND:
+            raise ValueError(
+                f"not a conformal calibrator payload: {payload.get('kind')!r}"
+            )
+        calibrator = cls(alpha=payload["alpha"], gamma=payload["gamma"])
+        q_hat = payload["q_hat"]
+        if q_hat is not None:
+            calibrator.q_hat = float(q_hat)
+        calibrator.n_calibration = int(payload["n_calibration"])
+        return calibrator
+
+    def save(self, path, journal=None) -> None:
+        """Atomically persist as a checksummed envelope; journal if asked.
+
+        ``inf`` cannot ride through strict JSON, so an uncalibrated-by-
+        sample-size ``q_hat`` round-trips as the string ``"inf"``.
+        """
+        payload = self.to_payload()
+        if payload["q_hat"] == math.inf:
+            payload["q_hat"] = "inf"
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(path, wrap(blob))
+        if journal is not None:
+            journal.append(
+                {
+                    "event": "conformal_calibrator_saved",
+                    "path": str(path),
+                    "alpha": self.alpha,
+                    "q_hat": self.q_hat,
+                    "n_calibration": self.n_calibration,
+                }
+            )
+
+    @classmethod
+    def load(cls, path) -> "ConformalCalibrator":
+        """Verified read; raises ``CorruptArtifactError`` on tampering."""
+        payload = json.loads(read_envelope(path).decode("utf-8"))
+        if payload.get("q_hat") == "inf":
+            payload["q_hat"] = math.inf
+        return cls.from_payload(payload)
+
+    def report(self) -> dict:
+        """Human-facing calibration summary (CLI table rows)."""
+        return {
+            "alpha": self.alpha,
+            "nominal_coverage": 1.0 - self.alpha,
+            "gamma": self.gamma,
+            "q_hat": self.q_hat,
+            "n_calibration": self.n_calibration,
+            "calibrated": self.is_calibrated,
+        }

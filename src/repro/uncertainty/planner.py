@@ -1,0 +1,244 @@
+"""Closed-loop acquisition: pick the measurement that shrinks doubt most.
+
+The adaptive-reaction-monitoring workload: given a pool of candidate
+measurements (simulated spectra the instrument *could* take next), the
+planner ranks them by posterior interval width, acquires labels for the
+widest — the rows the ensemble understands least — fine-tunes every
+member on everything acquired so far, and recalibrates the conformal
+quantile so the coverage promise tracks the updated model.  Each round
+therefore spends measurement budget exactly where the abstention gate is
+currently refusing to answer.
+
+The planner never mutates the models it is given: members are cloned at
+construction (:func:`~repro.nn.serialization.clone_model`), so a serving
+ensemble can seed a campaign while it keeps serving.  Everything is
+deterministic for a fixed ``seed`` — ranking ties break by pool index,
+fine-tune shuffles derive from the campaign seed and round number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.uncertainty.conformal import ConformalCalibrator
+from repro.uncertainty.predictors import EnsemblePredictor, MCDropoutPredictor
+
+__all__ = ["AcquisitionPlanner", "CampaignRound", "CampaignReport"]
+
+
+@dataclass(frozen=True)
+class CampaignRound:
+    """What one acquisition round bought."""
+
+    round: int
+    acquired: tuple  # pool indices labelled this round
+    mean_width: float  # mean interval width over the pool after refit
+    q_hat: float
+    coverage: Optional[float] = None  # on the eval set, if one was given
+
+
+@dataclass
+class CampaignReport:
+    """The width-shrinkage trajectory of a whole campaign."""
+
+    initial_width: float
+    rounds: List[CampaignRound] = field(default_factory=list)
+
+    @property
+    def final_width(self) -> float:
+        return self.rounds[-1].mean_width if self.rounds else self.initial_width
+
+    @property
+    def shrinkage(self) -> float:
+        """Fraction of initial pool width removed by the campaign."""
+        if self.initial_width <= 0:
+            return 0.0
+        return 1.0 - self.final_width / self.initial_width
+
+    def to_payload(self) -> dict:
+        return {
+            "initial_width": self.initial_width,
+            "final_width": self.final_width,
+            "shrinkage": self.shrinkage,
+            "rounds": [
+                {
+                    "round": r.round,
+                    "acquired": list(r.acquired),
+                    "mean_width": r.mean_width,
+                    "q_hat": r.q_hat,
+                    "coverage": r.coverage,
+                }
+                for r in self.rounds
+            ],
+        }
+
+
+class AcquisitionPlanner:
+    """Width-greedy active acquisition over a candidate pool."""
+
+    def __init__(
+        self,
+        predictor,
+        calibrator: ConformalCalibrator,
+        fine_tune_epochs: int = 4,
+        fine_tune_lr: float = 0.002,
+        batch_size: int = 32,
+        seed: int = 0,
+    ):
+        if fine_tune_epochs < 1:
+            raise ValueError("fine_tune_epochs must be >= 1")
+        self.calibrator = calibrator
+        self.fine_tune_epochs = int(fine_tune_epochs)
+        self.fine_tune_lr = float(fine_tune_lr)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self.predictor = self._clone_predictor(predictor)
+
+    def _clone_predictor(self, predictor):
+        from repro.nn.serialization import clone_model
+
+        if isinstance(predictor, EnsemblePredictor):
+            return EnsemblePredictor(
+                [
+                    clone_model(member, seed=self.seed + i)
+                    for i, member in enumerate(predictor.members)
+                ]
+            )
+        if isinstance(predictor, MCDropoutPredictor):
+            return MCDropoutPredictor(
+                clone_model(predictor.model, seed=self.seed),
+                passes=predictor.passes,
+                seed=predictor.seed,
+            )
+        raise TypeError(
+            "predictor must be an EnsemblePredictor or MCDropoutPredictor, "
+            f"got {type(predictor).__name__}"
+        )
+
+    def _models(self) -> List:
+        if isinstance(self.predictor, EnsemblePredictor):
+            return list(self.predictor.members)
+        return [self.predictor.model]
+
+    # -- ranking -------------------------------------------------------------
+
+    def score(self, pool_x: np.ndarray) -> np.ndarray:
+        """Per-row acquisition score: interval width (raw spread if
+        the calibrator is not usable yet — the *ordering* survives)."""
+        pool_x = np.asarray(pool_x, dtype=np.float64)
+        prediction = self.predictor.predict(pool_x)
+        if self.calibrator.is_calibrated and np.isfinite(self.calibrator.q_hat):
+            return self.calibrator.width(prediction)
+        return np.mean(prediction.std, axis=1)
+
+    def select(
+        self,
+        pool_x: np.ndarray,
+        k: int = 1,
+        exclude: Sequence[int] = (),
+    ) -> List[int]:
+        """Indices of the ``k`` widest pool rows, widest first.
+
+        Ties break by pool index so selection is deterministic; rows in
+        ``exclude`` (already acquired) are never re-picked.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        scores = self.score(pool_x)
+        excluded = set(int(i) for i in exclude)
+        order = np.argsort(-scores, kind="stable")
+        picked = [int(i) for i in order if int(i) not in excluded]
+        return picked[:k]
+
+    # -- the loop ------------------------------------------------------------
+
+    def run_campaign(
+        self,
+        pool_x: np.ndarray,
+        oracle: Callable[[np.ndarray], np.ndarray],
+        calibration_x: np.ndarray,
+        calibration_y: np.ndarray,
+        rounds: int = 3,
+        per_round: int = 8,
+        eval_data=None,
+    ) -> CampaignReport:
+        """Acquire → fine-tune → recalibrate, ``rounds`` times.
+
+        ``oracle(rows)`` returns the true labels for acquired pool rows
+        (the simulator, or a real instrument).  The calibrator is refit
+        on the held-out ``calibration_*`` split after every round — the
+        conformal guarantee only holds for the model that was calibrated,
+        so a fine-tuned model must never reuse a stale quantile.
+        ``eval_data=(x, y)`` additionally tracks coverage per round.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        pool_x = np.asarray(pool_x, dtype=np.float64)
+        calibration_x = np.asarray(calibration_x, dtype=np.float64)
+        calibration_y = np.asarray(calibration_y, dtype=np.float64)
+
+        self._recalibrate(calibration_x, calibration_y)
+        report = CampaignReport(
+            initial_width=float(np.mean(self.score(pool_x)))
+        )
+        acquired: List[int] = []
+        acquired_x: List[np.ndarray] = []
+        acquired_y: List[np.ndarray] = []
+        for round_index in range(rounds):
+            picked = self.select(pool_x, k=per_round, exclude=acquired)
+            if not picked:
+                break
+            rows = pool_x[picked]
+            labels = np.asarray(oracle(rows), dtype=np.float64)
+            if labels.shape[0] != rows.shape[0]:
+                raise ValueError(
+                    f"oracle returned {labels.shape[0]} labels for "
+                    f"{rows.shape[0]} rows"
+                )
+            acquired.extend(picked)
+            acquired_x.append(rows)
+            acquired_y.append(labels)
+            self._fine_tune(
+                np.concatenate(acquired_x), np.concatenate(acquired_y),
+                round_index,
+            )
+            self._recalibrate(calibration_x, calibration_y)
+            coverage = None
+            if eval_data is not None:
+                eval_x, eval_y = eval_data
+                coverage = self.calibrator.coverage(
+                    self.predictor.predict(np.asarray(eval_x, np.float64)),
+                    eval_y,
+                )
+            report.rounds.append(
+                CampaignRound(
+                    round=round_index,
+                    acquired=tuple(picked),
+                    mean_width=float(np.mean(self.score(pool_x))),
+                    q_hat=float(self.calibrator.q_hat),
+                    coverage=coverage,
+                )
+            )
+        return report
+
+    def _fine_tune(self, x: np.ndarray, y: np.ndarray, round_index: int) -> None:
+        from repro.nn.optimizers import Adam
+
+        for i, model in enumerate(self._models()):
+            model.compile(Adam(self.fine_tune_lr), "mae")
+            model.fit(
+                x,
+                y,
+                epochs=self.fine_tune_epochs,
+                batch_size=min(self.batch_size, len(x)),
+                seed=self.seed + 1000 * round_index + i,
+                verbose=False,
+            )
+
+    def _recalibrate(self, calibration_x: np.ndarray, calibration_y: np.ndarray):
+        self.calibrator.calibrate(
+            self.predictor.predict(calibration_x), calibration_y
+        )

@@ -1,0 +1,281 @@
+"""Abstention policy, serving gate, and interval-width drift monitor.
+
+This is the decision layer between a calibrated predictor and the
+serving plane: :class:`AbstentionPolicy` turns per-row prediction
+intervals into serve/abstain decisions with machine-readable reasons,
+:class:`UncertaintyGate` packages predictor + calibrator + policy behind
+the single ``assess(matrix)`` call :class:`~repro.serving.service.AnalysisService`
+consumes, and :class:`WidthMonitor` tracks interval-width widening as an
+*early* drift signal — ensemble disagreement rises off-distribution
+before the residual EWMA of :class:`~repro.core.lifecycle.DriftMonitor`
+catches up, because width needs no labels and no plausibility model.
+
+The abstention contract: every row gets exactly one decision, a decision
+never raises, and anything the gate cannot vouch for — uncalibrated
+calibrator, non-finite interval, interval wider than the policy allows —
+abstains rather than serving a confident guess.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.uncertainty.conformal import ConformalCalibrator
+from repro.uncertainty.predictors import UncertainPrediction
+
+__all__ = [
+    "REASON_UNCALIBRATED",
+    "REASON_NONFINITE_INTERVAL",
+    "REASON_INTERVAL_TOO_WIDE",
+    "AbstentionPolicy",
+    "Assessment",
+    "UncertaintyGate",
+    "WidthMonitor",
+]
+
+REASON_UNCALIBRATED = "uncalibrated"
+REASON_NONFINITE_INTERVAL = "nonfinite_interval"
+REASON_INTERVAL_TOO_WIDE = "interval_too_wide"
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """Per-row verdicts for one batch: arrays aligned with input rows.
+
+    ``reasons[i]`` is ``None`` for served rows and one of the module's
+    ``REASON_*`` constants for abstained rows.
+    """
+
+    mean: np.ndarray  # (n, k) point predictions
+    std: np.ndarray  # (n, k) raw spread
+    lower: np.ndarray  # (n, k) interval lower bounds
+    upper: np.ndarray  # (n, k) interval upper bounds
+    width: np.ndarray  # (n,) mean interval width per row
+    abstain: np.ndarray  # (n,) bool
+    reasons: tuple  # (n,) Optional[str]
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.mean.shape[0])
+
+    def row_interval(self, index: int):
+        """``(lower, upper)`` vectors for one row (for Abstained results)."""
+        return self.lower[index], self.upper[index]
+
+
+class AbstentionPolicy:
+    """Width thresholds that separate "serve" from "I don't know".
+
+    ``max_width`` bounds the absolute mean interval width per row;
+    ``max_relative_width`` bounds width relative to the magnitude of the
+    prediction itself (``mean |interval| / max(mean |value|, floor)``),
+    which adapts to tasks whose outputs live on different scales.
+    Either bound may be ``None`` (disabled); with both disabled the
+    policy still abstains on uncalibrated or non-finite intervals — the
+    unconditional part of the contract.
+    """
+
+    def __init__(
+        self,
+        max_width: Optional[float] = None,
+        max_relative_width: Optional[float] = None,
+        relative_floor: float = 1e-6,
+    ):
+        if max_width is not None and max_width <= 0:
+            raise ValueError(f"max_width must be > 0, got {max_width}")
+        if max_relative_width is not None and max_relative_width <= 0:
+            raise ValueError(
+                f"max_relative_width must be > 0, got {max_relative_width}"
+            )
+        if relative_floor <= 0:
+            raise ValueError(f"relative_floor must be > 0, got {relative_floor}")
+        self.max_width = max_width
+        self.max_relative_width = max_relative_width
+        self.relative_floor = float(relative_floor)
+
+    def assess(
+        self,
+        prediction: UncertainPrediction,
+        calibrator: ConformalCalibrator,
+    ) -> Assessment:
+        """Decide every row of a batch; never raises per-row."""
+        n = prediction.n_rows
+        if not calibrator.is_calibrated or calibrator.q_hat == np.inf:
+            nan = np.full_like(prediction.mean, np.nan)
+            return Assessment(
+                mean=prediction.mean,
+                std=prediction.std,
+                lower=nan,
+                upper=nan,
+                width=np.full(n, np.inf),
+                abstain=np.ones(n, dtype=bool),
+                reasons=tuple([REASON_UNCALIBRATED] * n),
+            )
+        lower, upper = calibrator.interval(prediction)
+        width = np.mean(upper - lower, axis=1)
+        abstain = np.zeros(n, dtype=bool)
+        reasons: List[Optional[str]] = [None] * n
+        finite = np.all(np.isfinite(lower), axis=1) & np.all(
+            np.isfinite(upper), axis=1
+        )
+        for i in range(n):
+            if not finite[i]:
+                abstain[i] = True
+                reasons[i] = REASON_NONFINITE_INTERVAL
+                continue
+            too_wide = (
+                self.max_width is not None and width[i] > self.max_width
+            )
+            if not too_wide and self.max_relative_width is not None:
+                scale = max(
+                    float(np.mean(np.abs(prediction.mean[i]))),
+                    self.relative_floor,
+                )
+                too_wide = width[i] / scale > self.max_relative_width
+            if too_wide:
+                abstain[i] = True
+                reasons[i] = REASON_INTERVAL_TOO_WIDE
+        return Assessment(
+            mean=prediction.mean,
+            std=prediction.std,
+            lower=lower,
+            upper=upper,
+            width=width,
+            abstain=abstain,
+            reasons=tuple(reasons),
+        )
+
+
+class WidthMonitor:
+    """EWMA over interval widths; widening is an early drift signal.
+
+    The baseline is the typical width on in-distribution (calibration)
+    data, set once via :meth:`set_baseline`.  :meth:`observe` smooths the
+    live widths and emits a :class:`~repro.core.lifecycle.DriftStatus`,
+    so the output plugs into everything that already consumes drift
+    statuses — :class:`~repro.adaptation.controller.AdaptationController`
+    included — with width in the residual slots instead of plausibility
+    residual.
+    """
+
+    def __init__(
+        self,
+        alarm_factor: float = 2.0,
+        smoothing: float = 0.2,
+        warmup: int = 5,
+    ):
+        if alarm_factor <= 1.0:
+            raise ValueError("alarm_factor must exceed 1.0")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.alarm_factor = float(alarm_factor)
+        self.smoothing = float(smoothing)
+        self.warmup = int(warmup)
+        self.baseline_width: Optional[float] = None
+        self.skipped_nonfinite = 0
+        self._ewma: Optional[float] = None
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def set_baseline(self, widths) -> float:
+        """Pin the in-distribution width baseline (median of a sample)."""
+        widths = np.asarray(widths, dtype=np.float64)
+        widths = widths[np.isfinite(widths)]
+        if widths.size == 0:
+            raise ValueError("baseline widths must contain finite values")
+        with self._lock:
+            self.baseline_width = float(np.median(widths))
+            self._ewma = None
+            self._count = 0
+        return self.baseline_width
+
+    def observe(self, width: float):
+        """Fold one row's interval width in; returns a ``DriftStatus``.
+
+        Non-finite widths (uncalibrated / overflowed intervals) are
+        counted and skipped rather than poisoning the EWMA — the
+        abstention path already refuses those rows.
+        """
+        from repro.core.lifecycle import DriftStatus
+
+        width = float(width)
+        with self._lock:
+            if not np.isfinite(width):
+                self.skipped_nonfinite += 1
+            else:
+                if self._ewma is None:
+                    self._ewma = width
+                else:
+                    self._ewma += self.smoothing * (width - self._ewma)
+                self._count += 1
+            baseline = self.baseline_width if self.baseline_width else 0.0
+            ewma = self._ewma if self._ewma is not None else 0.0
+            drifted = (
+                self._count >= self.warmup
+                and baseline > 0.0
+                and ewma > self.alarm_factor * baseline
+            )
+            return DriftStatus(
+                drifted=bool(drifted),
+                ewma_residual=float(ewma),
+                baseline_residual=float(baseline),
+                observations=int(self._count),
+            )
+
+
+class UncertaintyGate:
+    """Predictor + calibrator + policy behind one ``assess`` call.
+
+    This is the object :class:`~repro.serving.service.AnalysisService`
+    takes as its ``uncertainty=`` collaborator.  Besides assessing, it
+    keeps a rolling abstention-rate window (for brownout and stats) and
+    optionally feeds every row's width into a :class:`WidthMonitor`.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        calibrator: ConformalCalibrator,
+        policy: Optional[AbstentionPolicy] = None,
+        width_monitor: Optional[WidthMonitor] = None,
+        window: int = 64,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.predictor = predictor
+        self.calibrator = calibrator
+        self.policy = policy if policy is not None else AbstentionPolicy()
+        self.width_monitor = width_monitor
+        self.last_drift_status = None
+        self._decisions = deque(maxlen=int(window))
+        self._lock = threading.Lock()
+
+    def assess(self, matrix: np.ndarray) -> Assessment:
+        """Mean + interval + decision for every row of ``matrix``."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got shape {matrix.shape}")
+        prediction = self.predictor.predict(matrix)
+        assessment = self.policy.assess(prediction, self.calibrator)
+        if self.width_monitor is not None:
+            for width in assessment.width:
+                self.last_drift_status = self.width_monitor.observe(width)
+        with self._lock:
+            self._decisions.extend(
+                bool(flag) for flag in assessment.abstain
+            )
+        return assessment
+
+    def abstention_rate(self) -> Optional[float]:
+        """Fraction of recently assessed rows that abstained (None = no data)."""
+        with self._lock:
+            if not self._decisions:
+                return None
+            return float(sum(self._decisions)) / len(self._decisions)

@@ -244,3 +244,160 @@ class TestRollback:
         assert snapshot["state"] == "nominal"
         assert snapshot["last_decision"] is None
         assert snapshot["shadow"]["requests"] == 0
+
+
+class SeverityStatus:
+    """Duck-typed drift status with a scriptable severity."""
+
+    def __init__(self, severity, drifted=True):
+        self.severity = severity
+        self.drifted = drifted
+
+    def to_record(self):
+        return {"drifted": self.drifted}
+
+
+class TestCooldownGuards:
+    """Satellite: severity-scaled backoff must survive inf/NaN severity."""
+
+    def test_infinite_severity_clamps_to_the_scale_cap(self, rig):
+        _, controller, _, _ = rig  # cooldown_observations=3, cap scale 4.0
+        cooldown = controller._cooldown_after(SeverityStatus(np.inf))
+        assert isinstance(cooldown, int)
+        assert cooldown == 1  # ceil(3 / 4), never 0, never an OverflowError
+
+    def test_nan_severity_reads_as_unknown_and_keeps_full_backoff(self, rig):
+        _, controller, _, _ = rig
+        assert controller._cooldown_after(SeverityStatus(np.nan)) == 3
+
+    def test_nominal_and_subnominal_severity_keep_full_backoff(self, rig):
+        _, controller, _, _ = rig
+        assert controller._cooldown_after(SeverityStatus(1.0)) == 3
+        assert controller._cooldown_after(SeverityStatus(0.25)) == 3
+
+    def test_moderate_severity_shortens_the_backoff(self, rig):
+        _, controller, _, _ = rig
+        assert controller._cooldown_after(SeverityStatus(2.0)) == 2
+        assert controller._cooldown_after(SeverityStatus(3.0)) == 1
+
+    def test_missing_or_unusable_severity_keeps_full_backoff(self, rig):
+        _, controller, _, _ = rig
+        assert controller._cooldown_after(None) == 3
+        assert controller._cooldown_after(FakeStatus(True)) == 3
+        assert controller._cooldown_after(SeverityStatus(None)) == 3
+        assert controller._cooldown_after(SeverityStatus("broken")) == 3
+
+    def test_recalibrate_failure_with_infinite_severity_still_backs_off(
+        self, rig
+    ):
+        service, controller, model, x = rig
+
+        def broken(status):
+            raise RuntimeError("no reference gas")
+
+        controller.recalibrate = broken
+        status = SeverityStatus(np.inf)
+        assert controller.observe(status) == "recalibrate_failed"
+        # The clamped cooldown is a finite positive int: exactly one
+        # quiet observation, then retries resume instead of spinning.
+        assert controller.observe(status) == "cooldown"
+        assert controller.observe(status) == "recalibrate_failed"
+
+
+class TestIntervalCoverageGate:
+    """Satellite: PromotionGate's conformal interval-coverage criterion."""
+
+    def _stats(self):
+        return ShadowStats(requests=10, finite=10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PromotionGate(min_interval_coverage=0.0)
+        with pytest.raises(ValueError):
+            PromotionGate(min_interval_coverage=1.5)
+
+    def test_low_coverage_blocks_promotion(self):
+        gate = PromotionGate(
+            min_shadow_requests=10, min_interval_coverage=0.9
+        )
+        decision = gate.decide(
+            self._stats(), 0.05, 0.05, interval_coverage=0.7
+        )
+        assert not decision.promote
+        assert "interval_coverage_low" in decision.reasons
+        assert decision.detail["interval_coverage"] == pytest.approx(0.7)
+
+    def test_nonfinite_coverage_blocks_promotion(self):
+        gate = PromotionGate(
+            min_shadow_requests=10, min_interval_coverage=0.9
+        )
+        decision = gate.decide(
+            self._stats(), 0.05, 0.05, interval_coverage=float("nan")
+        )
+        assert "interval_coverage_low" in decision.reasons
+
+    def test_missing_coverage_blocks_when_required(self):
+        gate = PromotionGate(
+            min_shadow_requests=10, min_interval_coverage=0.9
+        )
+        decision = gate.decide(self._stats(), 0.05, 0.05)
+        assert not decision.promote
+        assert "interval_coverage_unavailable" in decision.reasons
+        assert decision.detail["interval_coverage"] is None
+
+    def test_sufficient_coverage_promotes(self):
+        gate = PromotionGate(
+            min_shadow_requests=10, min_interval_coverage=0.9
+        )
+        decision = gate.decide(
+            self._stats(), 0.05, 0.05, interval_coverage=0.93
+        )
+        assert decision.promote
+
+    def test_gate_without_requirement_ignores_coverage(self):
+        decision = PromotionGate(min_shadow_requests=10).decide(
+            self._stats(), 0.05, 0.05, interval_coverage=0.1
+        )
+        assert decision.promote
+
+
+class TestCoverageProbe:
+    def test_probe_coverage_gates_the_live_decision(self, rig):
+        service, controller, model, x = rig
+        controller.gate = PromotionGate(
+            min_shadow_requests=5,
+            max_reference_mae_ratio=2.0,
+            min_interval_coverage=0.9,
+        )
+        controller.coverage_probe = lambda candidate: 0.95
+        controller.start_shadow(clone_model(model, seed=1))
+        for row in x[:8]:
+            assert service.analyze(row, deadline_s=5.0).ok
+        assert _wait_state(controller, "watch")
+        assert controller.last_decision.promote
+        assert controller.last_decision.detail[
+            "interval_coverage"
+        ] == pytest.approx(0.95)
+
+    def test_raising_probe_reads_as_unavailable_and_blocks(self, rig):
+        service, controller, model, x = rig
+        controller.gate = PromotionGate(
+            min_shadow_requests=5,
+            max_reference_mae_ratio=2.0,
+            min_interval_coverage=0.9,
+        )
+
+        def broken_probe(candidate):
+            raise RuntimeError("no calibration split")
+
+        controller.coverage_probe = broken_probe
+        controller.start_shadow(clone_model(model, seed=1))
+        for row in x[:8]:
+            service.analyze(row, deadline_s=5.0)
+        assert _wait_state(controller, "nominal")
+        assert not controller.last_decision.promote
+        assert (
+            "interval_coverage_unavailable"
+            in controller.last_decision.reasons
+        )
+        assert service.stats()["model_swaps"] == 0

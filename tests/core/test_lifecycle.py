@@ -300,3 +300,22 @@ class TestTelemetry:
             assert registry.gauge("drift_severity").value(
                 monitor="gauge"
             ) == pytest.approx(status.severity)
+
+
+class TestClampedSeverity:
+    def test_nominal_severity_passes_through(self):
+        status = DriftStatus(
+            drifted=False, ewma_residual=0.2, baseline_residual=0.1,
+            observations=5,
+        )
+        assert status.clamped_severity() == pytest.approx(2.0)
+
+    def test_infinite_severity_clamps_to_the_cap(self):
+        status = DriftStatus(
+            drifted=True, ewma_residual=0.5, baseline_residual=0.0,
+            observations=5,
+        )
+        assert status.severity == np.inf
+        assert status.clamped_severity() == 1e6
+        assert status.clamped_severity(cap=10.0) == 10.0
+        assert np.isfinite(status.clamped_severity())

@@ -197,3 +197,64 @@ class TestGatesAreWiredIn:
         with pytest.raises(NonFiniteError) as excinfo:
             chain.build_simulator(measurements, measurements_artifact=0)
         assert "measurement[1]" in str(excinfo.value)
+
+
+class TestValidatePredictions:
+    """Satellite: physically impossible (negative) concentrations are a
+    RangeError, not a silent pass through the finiteness gate."""
+
+    def test_accepts_clean_concentration_matrix(self):
+        from repro.reliability.validation import validate_predictions
+
+        out = validate_predictions(np.ones((3, 2)), n_outputs=2)
+        assert out.shape == (3, 2)
+
+    def test_negative_concentration_is_a_range_error(self):
+        from repro.reliability.validation import validate_predictions
+
+        values = np.ones((3, 2))
+        values[1, 0] = -0.5
+        with pytest.raises(RangeError):
+            validate_predictions(values)
+
+    def test_last_ulp_negative_dust_passes(self):
+        from repro.reliability.validation import validate_predictions
+
+        values = np.zeros((2, 2))
+        values[0, 0] = -1e-12  # linear head emitting "zero"
+        out = validate_predictions(values)
+        assert out.shape == (2, 2)
+
+    def test_tolerance_is_configurable_and_validated(self):
+        from repro.reliability.validation import validate_predictions
+
+        values = np.zeros((1, 2))
+        values[0, 0] = -1e-12
+        with pytest.raises(RangeError):
+            validate_predictions(values, tolerance=0.0)
+        with pytest.raises(ValueError):
+            validate_predictions(values, tolerance=-1.0)
+
+    def test_min_value_none_opts_out_for_signed_outputs(self):
+        from repro.reliability.validation import validate_predictions
+
+        out = validate_predictions(np.full((2, 2), -5.0), min_value=None)
+        assert out.shape == (2, 2)
+
+    def test_max_value_bounds_the_other_side(self):
+        from repro.reliability.validation import validate_predictions
+
+        with pytest.raises(RangeError):
+            validate_predictions(np.full((2, 2), 1.5), max_value=1.0)
+
+    def test_shape_and_finiteness_gates_still_fire(self):
+        from repro.reliability.validation import validate_predictions
+
+        with pytest.raises(ShapeError):
+            validate_predictions(np.ones(3))
+        with pytest.raises(ShapeError):
+            validate_predictions(np.ones((3, 3)), n_outputs=2)
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(NonFiniteError):
+            validate_predictions(bad)

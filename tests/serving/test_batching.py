@@ -474,3 +474,71 @@ class TestBatchedShutdown:
             assert not result.ok
             assert result.reason == "shutdown"
         release.set()
+
+
+class TestAbstainRateSignal:
+    """The governor's third trigger: the service's rolling abstention rate."""
+
+    def _governor(self, clock, hold_s=1.0):
+        levels = [
+            BrownoutLevel(
+                name="abstain_surge",
+                enter_abstain_rate=0.5,
+                batch_growth=2.0,
+            ),
+        ]
+        return BrownoutGovernor(
+            levels=levels, hysteresis=0.8, hold_s=hold_s,
+            sample_interval_s=0.0, clock=clock,
+        )
+
+    def test_abstain_rate_alone_escalates(self):
+        governor = self._governor(FakeClock())
+        assert governor.observe(0.0, None, 0.1) == 0
+        assert governor.observe(0.0, None, 0.6) == 1
+        transition = governor.transitions[0]
+        assert transition.abstain_rate == 0.6
+        assert transition.queue_fill == 0.0
+
+    def test_missing_rate_never_triggers_or_blocks_descent(self):
+        clock = FakeClock()
+        governor = self._governor(clock)
+        # No gate installed → abstain_rate is None → trigger inert.
+        assert governor.observe(0.0, None, None) == 0
+        governor.observe(0.0, None, 0.9)
+        assert governor.level == 1
+        # Rate signal disappears (gate removed): calm on the remaining
+        # signals de-escalates after the hold.
+        governor.observe(0.0, None, None)
+        clock.advance(1.5)
+        assert governor.observe(0.0, None, None) == 0
+
+    def test_descent_respects_abstain_hysteresis(self):
+        clock = FakeClock()
+        governor = self._governor(clock)
+        governor.observe(0.0, None, 0.9)
+        assert governor.level == 1
+        # Below enter (0.5) but above exit (0.8 * 0.5 = 0.4): stays put.
+        clock.advance(10.0)
+        assert governor.observe(0.0, None, 0.45) == 1
+        # Calm and held: one step down.
+        governor.observe(0.0, None, 0.1)
+        clock.advance(1.5)
+        assert governor.observe(0.0, None, 0.1) == 0
+
+    def test_two_argument_observe_stays_compatible(self):
+        governor = self._governor(FakeClock())
+        assert governor.observe(0.2) == 0
+        assert governor.observe(0.2, 0.01) == 0
+
+    def test_maybe_observe_samples_the_rate_lazily(self):
+        clock = FakeClock()
+        governor = self._governor(clock)
+        calls = []
+
+        def rate_fn():
+            calls.append(True)
+            return 0.9
+
+        assert governor.maybe_observe(0.0, abstain_rate_fn=rate_fn) == 1
+        assert len(calls) == 1

@@ -1,0 +1,152 @@
+"""Unit tests for split-conformal calibration and its persistence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.storage.integrity import CorruptArtifactError
+from repro.storage.journal import Journal
+from repro.uncertainty import ConformalCalibrator, UncertainPrediction
+
+
+def _unit_prediction(n, k=2):
+    """mean 0, std 1 everywhere: scores reduce to max |y| per row."""
+    return UncertainPrediction(mean=np.zeros((n, k)), std=np.ones((n, k)))
+
+
+def _gaussian_case(n, seed, k=2):
+    rng = np.random.default_rng(seed)
+    return _unit_prediction(n, k), rng.normal(size=(n, k))
+
+
+class TestConstruction:
+    def test_alpha_and_gamma_validated(self):
+        with pytest.raises(ValueError):
+            ConformalCalibrator(alpha=0.0)
+        with pytest.raises(ValueError):
+            ConformalCalibrator(alpha=1.0)
+        with pytest.raises(ValueError):
+            ConformalCalibrator(gamma=0.0)
+
+    def test_starts_uncalibrated(self):
+        calibrator = ConformalCalibrator()
+        assert not calibrator.is_calibrated
+        with pytest.raises(RuntimeError):
+            calibrator.interval(_unit_prediction(3))
+
+
+class TestCalibration:
+    def test_q_hat_is_the_finite_sample_quantile(self):
+        # 9 rows, alpha=0.5: rank = ceil(10 * 0.5) = 5 → the 5th smallest
+        # score.  With mean 0 / std 1 and max over one output, the score
+        # of row i is |y_i| / (1 + gamma).
+        gamma = 1e-3
+        y = np.array([[v] for v in [1.0, -2.0, 3.0, -4.0, 5.0,
+                                    -6.0, 7.0, -8.0, 9.0]])
+        calibrator = ConformalCalibrator(alpha=0.5, gamma=gamma)
+        q_hat = calibrator.calibrate(_unit_prediction(9, k=1), y)
+        assert q_hat == pytest.approx(5.0 / (1.0 + gamma))
+        assert calibrator.n_calibration == 9
+
+    def test_small_sample_yields_infinite_q_hat(self):
+        # 5 rows at alpha=0.05: rank = ceil(6 * 0.95) = 6 > 5 — the exact
+        # quantile does not exist, so the calibrator refuses to promise.
+        calibrator = ConformalCalibrator(alpha=0.05)
+        prediction, y = _gaussian_case(5, seed=0)
+        assert calibrator.calibrate(prediction, y) == math.inf
+        lower, upper = calibrator.interval(prediction)
+        assert np.isinf(lower).all() and np.isinf(upper).all()
+
+    def test_rejects_mismatched_or_nonfinite_labels(self):
+        calibrator = ConformalCalibrator()
+        prediction = _unit_prediction(4)
+        with pytest.raises(ValueError):
+            calibrator.calibrate(prediction, np.zeros((4, 3)))
+        bad = np.zeros((4, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            calibrator.calibrate(prediction, bad)
+
+    def test_coverage_meets_the_finite_sample_guarantee(self):
+        # Exchangeable calibration/test splits: empirical coverage on a
+        # fresh draw should sit at or above 1 - alpha, modulo noise.
+        calibrator = ConformalCalibrator(alpha=0.1)
+        calibrator.calibrate(*_gaussian_case(400, seed=1))
+        test_prediction, test_y = _gaussian_case(400, seed=2)
+        coverage = calibrator.coverage(test_prediction, test_y)
+        assert coverage >= 0.85
+
+    def test_interval_and_width_shape(self):
+        calibrator = ConformalCalibrator(alpha=0.2)
+        calibrator.calibrate(*_gaussian_case(100, seed=3))
+        prediction = _unit_prediction(7, k=2)
+        lower, upper = calibrator.interval(prediction)
+        assert lower.shape == upper.shape == (7, 2)
+        assert (upper > lower).all()
+        width = calibrator.width(prediction)
+        assert width.shape == (7,)
+        np.testing.assert_allclose(width, np.mean(upper - lower, axis=1))
+
+    def test_wider_spread_means_wider_interval(self):
+        calibrator = ConformalCalibrator(alpha=0.1)
+        calibrator.calibrate(*_gaussian_case(100, seed=4))
+        narrow = UncertainPrediction(
+            mean=np.zeros((1, 2)), std=np.full((1, 2), 0.1)
+        )
+        wide = UncertainPrediction(
+            mean=np.zeros((1, 2)), std=np.full((1, 2), 5.0)
+        )
+        assert calibrator.width(wide)[0] > calibrator.width(narrow)[0]
+
+
+class TestPersistence:
+    def test_envelope_round_trip(self, tmp_path):
+        calibrator = ConformalCalibrator(alpha=0.1, gamma=1e-2)
+        calibrator.calibrate(*_gaussian_case(100, seed=5))
+        path = tmp_path / "calibrator.json"
+        calibrator.save(path)
+        loaded = ConformalCalibrator.load(path)
+        assert loaded.alpha == calibrator.alpha
+        assert loaded.gamma == calibrator.gamma
+        assert loaded.q_hat == calibrator.q_hat
+        assert loaded.n_calibration == calibrator.n_calibration
+
+    def test_infinite_q_hat_round_trips_through_strict_json(self, tmp_path):
+        calibrator = ConformalCalibrator(alpha=0.05)
+        calibrator.calibrate(*_gaussian_case(5, seed=6))
+        path = tmp_path / "calibrator.json"
+        calibrator.save(path)
+        assert ConformalCalibrator.load(path).q_hat == math.inf
+
+    def test_corrupt_envelope_is_refused(self, tmp_path):
+        calibrator = ConformalCalibrator()
+        calibrator.calibrate(*_gaussian_case(50, seed=7))
+        path = tmp_path / "calibrator.json"
+        calibrator.save(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptArtifactError):
+            ConformalCalibrator.load(path)
+
+    def test_save_journals_the_event(self, tmp_path):
+        calibrator = ConformalCalibrator(alpha=0.1)
+        calibrator.calibrate(*_gaussian_case(50, seed=8))
+        journal = Journal(tmp_path / "journal.jsonl")
+        calibrator.save(tmp_path / "calibrator.json", journal=journal)
+        journal.close()
+        records, _ = Journal(tmp_path / "journal.jsonl").replay()
+        assert len(records) == 1
+        assert records[0]["event"] == "conformal_calibrator_saved"
+        assert records[0]["n_calibration"] == 50
+
+    def test_from_payload_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            ConformalCalibrator.from_payload({"kind": "something_else"})
+
+    def test_report_is_json_friendly(self):
+        calibrator = ConformalCalibrator(alpha=0.1)
+        report = calibrator.report()
+        assert report["calibrated"] is False
+        assert report["nominal_coverage"] == pytest.approx(0.9)

@@ -1,0 +1,163 @@
+"""Unit tests for the width-greedy acquisition planner."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.uncertainty import (
+    AcquisitionPlanner,
+    ConformalCalibrator,
+    EnsemblePredictor,
+    UncertainPrediction,
+)
+
+N_FEATURES = 4
+N_OUTPUTS = 2
+RNG = np.random.default_rng(11)
+
+
+def _truth(x):
+    return np.stack([x[:, 0] + x[:, 1], x[:, 2] * 0.5], axis=1)
+
+
+def _member(seed, x, y, epochs=2):
+    model = nn.Sequential(
+        [nn.Dense(8, activation="tanh"), nn.Dense(N_OUTPUTS)]
+    )
+    model.build((N_FEATURES,), seed=seed)
+    model.compile(nn.Adam(0.01), "mae")
+    model.fit(x, y, epochs=epochs, batch_size=16, seed=seed, verbose=False)
+    return model
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    # Deliberately undertrained on few samples so members disagree and
+    # the campaign has doubt to shrink.
+    x = RNG.random((12, N_FEATURES))
+    y = _truth(x)
+    return EnsemblePredictor([_member(seed, x, y) for seed in range(3)])
+
+
+class TestConstruction:
+    def test_rejects_non_predictors(self):
+        with pytest.raises(TypeError):
+            AcquisitionPlanner(object(), ConformalCalibrator())
+
+    def test_validates_epochs_and_rounds(self, ensemble):
+        with pytest.raises(ValueError):
+            AcquisitionPlanner(
+                ensemble, ConformalCalibrator(), fine_tune_epochs=0
+            )
+        planner = AcquisitionPlanner(ensemble, ConformalCalibrator())
+        with pytest.raises(ValueError):
+            planner.run_campaign(
+                np.zeros((4, N_FEATURES)), _truth,
+                np.zeros((4, N_FEATURES)), np.zeros((4, N_OUTPUTS)),
+                rounds=0,
+            )
+
+    def test_clones_the_source_models(self, ensemble):
+        planner = AcquisitionPlanner(ensemble, ConformalCalibrator())
+        assert planner.predictor is not ensemble
+        for clone, source in zip(
+            planner.predictor.members, ensemble.members
+        ):
+            assert clone is not source
+            for a, b in zip(clone.get_weights(), source.get_weights()):
+                assert (a == b).all()
+
+
+class TestSelection:
+    def test_select_is_widest_first_and_respects_exclusions(self, ensemble):
+        planner = AcquisitionPlanner(ensemble, ConformalCalibrator())
+        pool = RNG.random((20, N_FEATURES)) * 2.0
+        scores = planner.score(pool)
+        picked = planner.select(pool, k=5)
+        assert len(picked) == 5
+        assert picked == sorted(
+            picked, key=lambda i: -scores[i]
+        ) or all(
+            scores[picked[j]] >= scores[picked[j + 1]] for j in range(4)
+        )
+        again = planner.select(pool, k=5, exclude=picked)
+        assert not set(picked) & set(again)
+
+    def test_select_validates_k(self, ensemble):
+        planner = AcquisitionPlanner(ensemble, ConformalCalibrator())
+        with pytest.raises(ValueError):
+            planner.select(np.zeros((4, N_FEATURES)), k=0)
+
+    def test_uncalibrated_scores_fall_back_to_raw_spread(self, ensemble):
+        planner = AcquisitionPlanner(ensemble, ConformalCalibrator())
+        pool = RNG.random((8, N_FEATURES))
+        raw = planner.score(pool)
+        prediction = planner.predictor.predict(pool)
+        np.testing.assert_allclose(raw, np.mean(prediction.std, axis=1))
+
+
+class TestCampaign:
+    def test_campaign_shrinks_pool_width(self, ensemble):
+        calibrator = ConformalCalibrator(alpha=0.2)
+        planner = AcquisitionPlanner(
+            ensemble,
+            calibrator,
+            fine_tune_epochs=20,
+            fine_tune_lr=0.01,
+            seed=5,
+        )
+        pool = RNG.random((40, N_FEATURES))
+        calibration_x = RNG.random((60, N_FEATURES))
+        eval_x = RNG.random((30, N_FEATURES))
+        report = planner.run_campaign(
+            pool,
+            _truth,
+            calibration_x,
+            _truth(calibration_x),
+            rounds=3,
+            per_round=10,
+            eval_data=(eval_x, _truth(eval_x)),
+        )
+        assert len(report.rounds) == 3
+        acquired = [i for r in report.rounds for i in r.acquired]
+        assert len(acquired) == len(set(acquired)) == 30
+        assert report.final_width < report.initial_width
+        assert report.shrinkage > 0.0
+        for round_report in report.rounds:
+            assert np.isfinite(round_report.q_hat)
+            assert 0.0 <= round_report.coverage <= 1.0
+        payload = report.to_payload()
+        assert payload["final_width"] == report.final_width
+        assert len(payload["rounds"]) == 3
+
+    def test_campaign_never_mutates_source_models(self, ensemble):
+        before = [
+            [w.copy() for w in member.get_weights()]
+            for member in ensemble.members
+        ]
+        planner = AcquisitionPlanner(
+            ensemble, ConformalCalibrator(alpha=0.2), fine_tune_epochs=2
+        )
+        pool = RNG.random((10, N_FEATURES))
+        calibration_x = RNG.random((30, N_FEATURES))
+        planner.run_campaign(
+            pool, _truth, calibration_x, _truth(calibration_x),
+            rounds=1, per_round=4,
+        )
+        for member, saved in zip(ensemble.members, before):
+            for a, b in zip(member.get_weights(), saved):
+                assert (a == b).all()
+
+    def test_oracle_shape_mismatch_raises(self, ensemble):
+        planner = AcquisitionPlanner(ensemble, ConformalCalibrator(alpha=0.2))
+        pool = RNG.random((8, N_FEATURES))
+        calibration_x = RNG.random((30, N_FEATURES))
+        with pytest.raises(ValueError, match="oracle returned"):
+            planner.run_campaign(
+                pool,
+                lambda rows: np.zeros((1, N_OUTPUTS)),
+                calibration_x,
+                _truth(calibration_x),
+                rounds=1,
+                per_round=4,
+            )

@@ -1,0 +1,208 @@
+"""Unit tests for the abstention policy, width monitor and serving gate."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import (
+    REASON_INTERVAL_TOO_WIDE,
+    REASON_NONFINITE_INTERVAL,
+    REASON_UNCALIBRATED,
+    AbstentionPolicy,
+    ConformalCalibrator,
+    UncertaintyGate,
+    UncertainPrediction,
+    WidthMonitor,
+)
+
+
+def _prediction(stds, means=None):
+    stds = np.asarray(stds, dtype=np.float64)
+    n = len(stds)
+    std = np.stack([stds, stds], axis=1)
+    if means is None:
+        mean = np.ones((n, 2))
+    else:
+        means = np.asarray(means, dtype=np.float64)
+        mean = np.stack([means, means], axis=1)
+    return UncertainPrediction(mean=mean, std=std)
+
+
+def _calibrated(q_hat=1.0, alpha=0.1, gamma=1e-3):
+    calibrator = ConformalCalibrator(alpha=alpha, gamma=gamma)
+    calibrator.q_hat = float(q_hat)
+    calibrator.n_calibration = 100
+    return calibrator
+
+
+class _SpreadPredictor:
+    """std = |first channel| per row; mean = row sum — fully scriptable."""
+
+    def predict(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        total = x.sum(axis=1)
+        spread = np.abs(x[:, 0])
+        return UncertainPrediction(
+            mean=np.stack([total, total], axis=1),
+            std=np.stack([spread, spread], axis=1),
+        )
+
+
+class TestAbstentionPolicy:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AbstentionPolicy(max_width=0.0)
+        with pytest.raises(ValueError):
+            AbstentionPolicy(max_relative_width=-1.0)
+        with pytest.raises(ValueError):
+            AbstentionPolicy(relative_floor=0.0)
+
+    def test_uncalibrated_abstains_everything(self):
+        assessment = AbstentionPolicy().assess(
+            _prediction([0.1, 0.2]), ConformalCalibrator()
+        )
+        assert assessment.abstain.all()
+        assert assessment.reasons == (REASON_UNCALIBRATED,) * 2
+        assert np.isinf(assessment.width).all()
+        assert np.isnan(assessment.lower).all()
+
+    def test_infinite_q_hat_abstains_everything(self):
+        assessment = AbstentionPolicy().assess(
+            _prediction([0.1]), _calibrated(q_hat=np.inf)
+        )
+        assert assessment.abstain.all()
+        assert assessment.reasons == (REASON_UNCALIBRATED,)
+
+    def test_nonfinite_interval_abstains_only_its_row(self):
+        assessment = AbstentionPolicy().assess(
+            _prediction([0.1, np.inf]), _calibrated()
+        )
+        assert assessment.abstain.tolist() == [False, True]
+        assert assessment.reasons[1] == REASON_NONFINITE_INTERVAL
+
+    def test_max_width_separates_rows(self):
+        # width = 2 * q_hat * (std + gamma) averaged over outputs.
+        assessment = AbstentionPolicy(max_width=1.0).assess(
+            _prediction([0.1, 5.0]), _calibrated(q_hat=1.0)
+        )
+        assert assessment.abstain.tolist() == [False, True]
+        assert assessment.reasons[0] is None
+        assert assessment.reasons[1] == REASON_INTERVAL_TOO_WIDE
+        np.testing.assert_allclose(
+            assessment.width,
+            [2 * (0.1 + 1e-3), 2 * (5.0 + 1e-3)],
+        )
+
+    def test_relative_width_scales_with_prediction_magnitude(self):
+        # Same absolute width, very different prediction scales.
+        prediction = _prediction([1.0, 1.0], means=[100.0, 0.01])
+        assessment = AbstentionPolicy(max_relative_width=0.5).assess(
+            prediction, _calibrated(q_hat=1.0)
+        )
+        # Row 0: width ~2 against scale 100 → relative 0.02 → serve.
+        # Row 1: width ~2 against scale 0.01 → relative 200 → abstain.
+        assert assessment.abstain.tolist() == [False, True]
+
+    def test_no_bounds_serves_every_finite_row(self):
+        assessment = AbstentionPolicy().assess(
+            _prediction([1000.0]), _calibrated()
+        )
+        assert not assessment.abstain.any()
+
+    def test_row_interval(self):
+        assessment = AbstentionPolicy(max_width=1.0).assess(
+            _prediction([5.0]), _calibrated()
+        )
+        lower, upper = assessment.row_interval(0)
+        np.testing.assert_allclose(lower, assessment.lower[0])
+        np.testing.assert_allclose(upper, assessment.upper[0])
+
+
+class TestWidthMonitor:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WidthMonitor(alarm_factor=1.0)
+        with pytest.raises(ValueError):
+            WidthMonitor(smoothing=0.0)
+        with pytest.raises(ValueError):
+            WidthMonitor(warmup=0)
+
+    def test_baseline_requires_finite_widths(self):
+        with pytest.raises(ValueError):
+            WidthMonitor().set_baseline([np.inf, np.nan])
+
+    def test_widening_past_alarm_factor_drifts(self):
+        monitor = WidthMonitor(alarm_factor=2.0, smoothing=1.0, warmup=3)
+        assert monitor.set_baseline([1.0, 1.0, 1.2]) == pytest.approx(1.0)
+        for _ in range(2):
+            status = monitor.observe(5.0)
+            assert not status.drifted  # still warming up
+        status = monitor.observe(5.0)
+        assert status.drifted
+        assert status.ewma_residual == pytest.approx(5.0)
+        assert status.baseline_residual == pytest.approx(1.0)
+
+    def test_nominal_widths_never_alarm(self):
+        monitor = WidthMonitor(alarm_factor=2.0, warmup=2)
+        monitor.set_baseline([1.0])
+        for _ in range(10):
+            status = monitor.observe(1.1)
+        assert not status.drifted
+
+    def test_nonfinite_widths_are_skipped_not_folded(self):
+        monitor = WidthMonitor(warmup=1)
+        monitor.set_baseline([1.0])
+        monitor.observe(1.0)
+        status = monitor.observe(np.inf)
+        assert monitor.skipped_nonfinite == 1
+        assert np.isfinite(status.ewma_residual)
+        assert status.observations == 1
+
+
+class TestUncertaintyGate:
+    def test_assess_requires_2d(self):
+        gate = UncertaintyGate(_SpreadPredictor(), _calibrated())
+        with pytest.raises(ValueError):
+            gate.assess(np.ones(4))
+
+    def test_decisions_follow_the_policy(self):
+        gate = UncertaintyGate(
+            _SpreadPredictor(),
+            _calibrated(q_hat=1.0),
+            policy=AbstentionPolicy(max_width=1.0),
+        )
+        matrix = np.array(
+            [[0.1, 0.2, 0.3], [5.0, 0.0, 0.0]], dtype=np.float64
+        )
+        assessment = gate.assess(matrix)
+        assert assessment.abstain.tolist() == [False, True]
+        np.testing.assert_allclose(assessment.mean[:, 0], matrix.sum(axis=1))
+
+    def test_abstention_rate_windows_recent_decisions(self):
+        gate = UncertaintyGate(
+            _SpreadPredictor(),
+            _calibrated(),
+            policy=AbstentionPolicy(max_width=1.0),
+            window=4,
+        )
+        assert gate.abstention_rate() is None
+        gate.assess(np.array([[0.1, 0.0], [0.1, 0.0]]))
+        assert gate.abstention_rate() == 0.0
+        gate.assess(np.array([[9.0, 0.0], [9.0, 0.0]]))
+        assert gate.abstention_rate() == 0.5
+        # Window of 4: two more abstentions evict the two served rows.
+        gate.assess(np.array([[9.0, 0.0], [9.0, 0.0]]))
+        assert gate.abstention_rate() == 1.0
+
+    def test_width_monitor_is_fed_per_row(self):
+        monitor = WidthMonitor(alarm_factor=2.0, smoothing=1.0, warmup=1)
+        monitor.set_baseline([0.3])
+        gate = UncertaintyGate(
+            _SpreadPredictor(),
+            _calibrated(),
+            policy=AbstentionPolicy(max_width=1.0),
+            width_monitor=monitor,
+        )
+        gate.assess(np.array([[5.0, 0.0], [5.0, 0.0]]))
+        assert gate.last_drift_status is not None
+        assert gate.last_drift_status.drifted
+        assert gate.last_drift_status.observations == 2

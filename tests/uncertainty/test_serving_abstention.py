@@ -1,0 +1,411 @@
+"""Abstained as a serving outcome: gate wiring through AnalysisService.
+
+Covers the single-request path, the per-row batched drain, metrics and
+exactly-once accounting, the swap_analyzer gate semantics (including a
+mid-flight swap), the brownout abstain-rate trigger, and the satellite
+invariant that abstention never counts against the GuardedAnalyzer
+degradation ladder.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry, scoped
+from repro.reliability.degradation import GuardedAnalyzer
+from repro.serving import (
+    Abstained,
+    AnalysisService,
+    BatchingPolicy,
+    BrownoutGovernor,
+    BrownoutLevel,
+    CircuitBreaker,
+    Completed,
+)
+from repro.serving.circuit import CLOSED
+from repro.uncertainty import (
+    REASON_INTERVAL_TOO_WIDE,
+    REASON_UNCALIBRATED,
+    AbstentionPolicy,
+    ConformalCalibrator,
+    UncertaintyGate,
+    UncertainPrediction,
+)
+
+def _service(*args, **kwargs):
+    """AnalysisService with an isolated metrics registry per test."""
+    kwargs.setdefault("registry", MetricsRegistry())
+    return AnalysisService(*args, **kwargs)
+
+
+LENGTH = 8
+
+
+def _spectrum(first=0.1, fill=0.01):
+    data = np.full(LENGTH, fill)
+    data[0] = first
+    return data
+
+
+def _analyzer(data):
+    """Ungated fallback backend — recognizably NOT the gate's answer."""
+    return np.array([-1.0, -1.0])
+
+
+class SpreadPredictor:
+    """std = |first channel| per row; mean = row sum, twice.
+
+    first channel ~0.1 → width ~0.2 (served); first channel 5 → width
+    ~10 (abstained under max_width=1).
+    """
+
+    def predict(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        total = x.sum(axis=1)
+        spread = np.abs(x[:, 0])
+        return UncertainPrediction(
+            mean=np.stack([total, total], axis=1),
+            std=np.stack([spread, spread], axis=1),
+        )
+
+
+class BlockingPredictor(SpreadPredictor):
+    def __init__(self, release, entered):
+        self.release = release
+        self.entered = entered
+
+    def predict(self, x):
+        self.entered.set()
+        self.release.wait(5.0)
+        return super().predict(x)
+
+
+def _calibrated(q_hat=1.0):
+    calibrator = ConformalCalibrator(alpha=0.1)
+    calibrator.q_hat = float(q_hat)
+    calibrator.n_calibration = 100
+    return calibrator
+
+
+def _gate(max_width=1.0, predictor=None, calibrator=None):
+    return UncertaintyGate(
+        predictor if predictor is not None else SpreadPredictor(),
+        calibrator if calibrator is not None else _calibrated(),
+        policy=AbstentionPolicy(max_width=max_width),
+    )
+
+
+class TestSinglePath:
+    def test_gate_replaces_the_analyzer_for_served_rows(self):
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            result = service.analyze(_spectrum(0.1))
+        assert isinstance(result, Completed)
+        expected = _spectrum(0.1).sum()
+        np.testing.assert_allclose(result.value, [expected, expected])
+
+    def test_wide_interval_abstains_with_the_interval_attached(self):
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            result = service.analyze(_spectrum(5.0))
+        assert isinstance(result, Abstained)
+        assert not result.ok
+        assert result.reason == REASON_INTERVAL_TOO_WIDE
+        assert result.width == pytest.approx(2 * (5.0 + 1e-3))
+        lower, upper = result.interval
+        assert (lower < result.value).all()
+        assert (result.value < upper).all()
+        assert np.isfinite(result.value).all()
+
+    def test_uncalibrated_gate_abstains_everything(self):
+        gate = _gate(calibrator=ConformalCalibrator())
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=gate
+        ) as service:
+            result = service.analyze(_spectrum(0.1))
+        assert isinstance(result, Abstained)
+        assert result.reason == REASON_UNCALIBRATED
+        assert np.isnan(result.lower).all()
+
+    def test_exactly_once_accounting(self):
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            for _ in range(4):
+                service.analyze(_spectrum(0.1))
+            for _ in range(3):
+                service.analyze(_spectrum(5.0))
+            bad = _spectrum()
+            bad[2] = np.nan
+            service.analyze(bad)
+            stats = service.stats()
+        assert stats["submitted"] == 8
+        assert stats["completed"] == 4
+        assert stats["abstained"] == 3
+        assert stats["abstentions"] == {REASON_INTERVAL_TOO_WIDE: 3}
+        assert sum(stats["rejections"].values()) == 1
+        assert (
+            stats["completed"]
+            + stats["abstained"]
+            + sum(stats["rejections"].values())
+            == stats["submitted"]
+        )
+        assert stats["abstention_rate"] == pytest.approx(3 / 7)
+
+    def test_abstention_rate_excludes_queue_level_refusals(self):
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            assert service.abstention_rate() is None
+            service.analyze(_spectrum(5.0))
+            bad = _spectrum()
+            bad[0] = np.inf
+            service.analyze(bad)  # rejected: says nothing about the model
+            assert service.abstention_rate() == 1.0
+
+    def test_metrics_count_abstentions_by_reason(self):
+        with scoped() as (registry, _):
+            with AnalysisService(
+                _analyzer, expected_length=LENGTH, uncertainty=_gate()
+            ) as service:
+                service.analyze(_spectrum(0.1))
+                service.analyze(_spectrum(5.0))
+                service.analyze(_spectrum(5.0))
+            assert registry.counter("serving_abstentions_total").value(
+                service="analysis", reason=REASON_INTERVAL_TOO_WIDE
+            ) == 2
+            assert registry.gauge("serving_abstention_rate").value(
+                service="analysis"
+            ) == pytest.approx(2 / 3)
+
+    def test_abstention_never_trips_the_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        with _service(
+            _analyzer,
+            expected_length=LENGTH,
+            breaker=breaker,
+            uncertainty=_gate(),
+        ) as service:
+            for _ in range(6):
+                assert isinstance(service.analyze(_spectrum(5.0)), Abstained)
+        assert breaker.state == CLOSED
+
+    def test_shadow_tap_never_fires_for_abstentions(self):
+        seen = []
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            service.set_shadow_tap(lambda data, value: seen.append(value))
+            assert isinstance(service.analyze(_spectrum(5.0)), Abstained)
+            assert service.analyze(_spectrum(0.1)).ok
+        assert len(seen) == 1
+
+    def test_raising_gate_is_contained_as_analyzer_error(self):
+        class ExplodingGate:
+            def assess(self, matrix):
+                raise RuntimeError("gate exploded")
+
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=ExplodingGate()
+        ) as service:
+            result = service.analyze(_spectrum(0.1))
+            follow_up = service.analyze(_spectrum(0.1))
+        assert result.reason == "analyzer_error"
+        assert follow_up.reason == "analyzer_error"
+
+
+class TestBatchedPath:
+    def test_one_ood_row_never_poisons_its_batchmates(self):
+        service = _service(
+            _analyzer,
+            workers=1,
+            queue_size=32,
+            expected_length=LENGTH,
+            batching=BatchingPolicy(max_batch=8, max_wait_s=0.05),
+            uncertainty=_gate(),
+        )
+        with service:
+            firsts = [0.1, 5.0, 0.1, 5.0, 0.1, 0.1]
+            pending = [service.submit(_spectrum(f)) for f in firsts]
+            results = [p.result(timeout=5.0) for p in pending]
+        for first, result in zip(firsts, results):
+            if first > 1.0:
+                assert isinstance(result, Abstained)
+                assert result.reason == REASON_INTERVAL_TOO_WIDE
+            else:
+                assert isinstance(result, Completed)
+                expected = _spectrum(first).sum()
+                np.testing.assert_allclose(
+                    result.value, [expected, expected]
+                )
+        stats = service.stats()
+        assert stats["completed"] == 4
+        assert stats["abstained"] == 2
+        assert stats["batching"]["batched_requests"] == 6
+
+    def test_batched_accounting_is_exactly_once(self):
+        service = _service(
+            _analyzer,
+            workers=2,
+            queue_size=64,
+            expected_length=LENGTH,
+            batching=BatchingPolicy(max_batch=4, max_wait_s=0.01),
+            uncertainty=_gate(),
+        )
+        with service:
+            pending = [
+                service.submit(_spectrum(5.0 if i % 3 == 0 else 0.1))
+                for i in range(30)
+            ]
+            results = [p.result(timeout=5.0) for p in pending]
+            stats = service.stats()
+        assert all(r is not None for r in results)
+        assert (
+            stats["completed"]
+            + stats["abstained"]
+            + sum(stats["rejections"].values())
+            == stats["submitted"]
+            == 30
+        )
+
+
+class TestSwapSemantics:
+    def test_swap_analyzer_keeps_the_gate_by_default(self):
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            service.swap_analyzer(lambda data: np.array([7.0, 7.0]))
+            assert isinstance(service.analyze(_spectrum(5.0)), Abstained)
+
+    def test_swap_with_none_removes_gating(self):
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            service.swap_analyzer(_analyzer, uncertainty=None)
+            result = service.analyze(_spectrum(5.0))
+            assert isinstance(result, Completed)
+            np.testing.assert_allclose(result.value, [-1.0, -1.0])
+
+    def test_swap_installs_a_new_gate_atomically(self):
+        permissive = _gate(max_width=1000.0)
+        with _service(
+            _analyzer, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            assert isinstance(service.analyze(_spectrum(5.0)), Abstained)
+            service.swap_analyzer(_analyzer, uncertainty=permissive)
+            assert service.analyze(_spectrum(5.0)).ok
+
+    def test_mid_flight_swap_resolves_every_request_exactly_once(self):
+        release = threading.Event()
+        entered = threading.Event()
+        gate = _gate(predictor=BlockingPredictor(release, entered))
+        service = _service(
+            _analyzer,
+            workers=1,
+            queue_size=8,
+            default_deadline_s=10.0,
+            expected_length=LENGTH,
+            uncertainty=gate,
+        )
+        with service:
+            pending = [service.submit(_spectrum(5.0)) for _ in range(4)]
+            # First request is blocked inside the gate; the rest queued.
+            assert entered.wait(5.0)
+            service.swap_analyzer(_analyzer, uncertainty=None)
+            release.set()
+            results = [p.result(timeout=5.0) for p in pending]
+            stats = service.stats()
+        # The in-flight request was assessed by the old gate (abstained);
+        # everything dequeued after the swap served through the analyzer.
+        assert isinstance(results[0], Abstained)
+        assert all(isinstance(r, Completed) for r in results[1:])
+        assert (
+            stats["completed"]
+            + stats["abstained"]
+            + sum(stats["rejections"].values())
+            == stats["submitted"]
+            == 4
+        )
+
+
+class TestBrownoutAbstainSignal:
+    def test_abstain_surge_escalates_the_governor(self):
+        governor = BrownoutGovernor(
+            levels=[
+                BrownoutLevel(
+                    name="abstain_surge",
+                    enter_abstain_rate=0.5,
+                    batch_growth=2.0,
+                ),
+            ],
+            sample_interval_s=0.0,
+            hold_s=60.0,  # never de-escalate during the test
+        )
+        with _service(
+            _analyzer,
+            expected_length=LENGTH,
+            governor=governor,
+            uncertainty=_gate(),
+        ) as service:
+            for _ in range(4):
+                service.analyze(_spectrum(5.0))
+            # The next admission samples the surged rate and escalates.
+            service.analyze(_spectrum(5.0))
+            assert governor.level == 1
+        transition = governor.transitions[0]
+        assert transition.abstain_rate == pytest.approx(1.0)
+
+    def test_no_gate_means_no_abstain_signal(self):
+        governor = BrownoutGovernor(
+            levels=[
+                BrownoutLevel(name="abstain_surge", enter_abstain_rate=0.5),
+            ],
+            sample_interval_s=0.0,
+        )
+        with _service(
+            _analyzer, expected_length=LENGTH, governor=governor
+        ) as service:
+            for _ in range(5):
+                service.analyze(_spectrum(0.1))
+            assert governor.level == 0
+
+
+class TestGuardedLadder:
+    """Satellite: abstention must never read as a degradation-tier failure."""
+
+    def _guard(self):
+        return GuardedAnalyzer(
+            primary=lambda data: (np.zeros(2), 0.0),
+            safe_estimate=np.zeros(2),
+        )
+
+    def test_abstention_leaves_the_ladder_untouched(self):
+        guard = self._guard()
+        with _service(
+            guard, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            for _ in range(3):
+                assert isinstance(service.analyze(_spectrum(5.0)), Abstained)
+            assert service.analyze(_spectrum(0.1)).ok
+        # The gate answered every request; the guarded analyzer never ran,
+        # so no tier was consumed and nothing counted as degradation.
+        assert guard.calls == 0
+        assert guard.degraded_steps == 0
+        assert all(count == 0 for count in guard.tier_counts.values())
+
+    def test_removing_the_gate_hands_traffic_back_to_the_ladder(self):
+        guard = self._guard()
+        with _service(
+            guard, expected_length=LENGTH, uncertainty=_gate()
+        ) as service:
+            assert isinstance(service.analyze(_spectrum(5.0)), Abstained)
+            service.swap_analyzer(guard, uncertainty=None)
+            result = service.analyze(_spectrum(5.0))
+            assert isinstance(result, Completed)
+        assert guard.calls == 1
+        assert guard.tier_counts["primary"] == 1
+        assert guard.degraded_steps == 0
