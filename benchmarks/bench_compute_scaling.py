@@ -1,16 +1,23 @@
 """COMPUTE — scaling of the parallel executor and the artifact cache.
 
-Two claims the compute subsystem makes, measured:
+Three claims the compute subsystem makes, measured:
 
-(a) **Executor scaling** — a 4-topology training sweep fanned over the
-    ``process`` backend finishes faster than the serial loop, while every
-    backend produces byte-identical models, metrics and ``select_best``
-    outcomes.  The speedup assertion only applies on machines with >= 4
-    cores (a 1-core container can demonstrate determinism, not scaling;
-    the core count is recorded in the results JSON either way).
-(b) **Cache amortization** — regenerating an NMR training set through the
-    content-addressed cache turns the second call into a checksummed read,
-    at least an order of magnitude faster than rendering.
+(a) **Executor scaling** — a balanced campaign-shaped workload fanned
+    over the warm ``process`` pool beats the serial loop by >= 1.8x on
+    machines with >= 2 cores (a 1-core container can demonstrate
+    determinism and warm reuse, not scaling; the core count is recorded
+    in the results JSON either way).  A 4-topology training sweep is also
+    timed on every backend with per-phase breakdowns (pool startup vs
+    dispatch vs task compute vs result transfer), so a scaling
+    regression is diagnosable rather than a single opaque ratio — and
+    every backend must produce byte-identical models, metrics and
+    ``select_best`` outcomes.
+(b) **Warm pool reuse** — the second ``map_tasks`` call on the same
+    executor records *zero* pool-startup time: workers are created once
+    per executor lifetime, not once per call.
+(c) **Cache amortization** — regenerating an NMR training set through the
+    content-addressed cache turns the second call into a checksummed
+    read, at least an order of magnitude faster than rendering.
 
 Set ``REPRO_BENCH_WORKERS`` to bound the worker pool (CI uses 2).
 """
@@ -35,6 +42,8 @@ from conftest import print_table, scale, write_results
 CORES = os.cpu_count() or 1
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", str(min(CORES, 4))))
 
+PHASES = ("pool_startup_s", "dispatch_s", "task_compute_s", "result_wait_s")
+
 NMR_RANGES = {
     "p-toluidine": (0.0, 0.5),
     "Li-toluidide": (0.0, 0.5),
@@ -48,6 +57,78 @@ def _sweep_dataset(n, length=64, outputs=3, seed=0):
     y = rng.dirichlet(np.ones(outputs), size=n)
     x = y @ rng.random((outputs, length)) + 0.01 * rng.random((n, length))
     return SpectraDataset(x, y, tuple(f"c{i}" for i in range(outputs)))
+
+
+def _cpu_task(payload, rng):
+    """One balanced, compute-bound campaign-shaped cell (module-level).
+
+    Deliberately elementwise (ufunc) work: numpy runs it single-threaded,
+    so the serial baseline cannot silently borrow the other cores through
+    a multi-threaded BLAS and poison the speedup measurement.
+    """
+    data = rng.random(payload["size"])
+    for _ in range(payload["iterations"]):
+        data = np.sin(data) * 1.1 + 0.01
+    return float(np.sum(data))
+
+
+def _phase_row(backend, seconds, stats, extra=None):
+    row = {"backend": backend, "seconds": seconds}
+    for phase in PHASES:
+        row[phase] = float(stats.get(phase, 0.0))
+    row.update(extra or {})
+    return row
+
+
+@pytest.fixture(scope="module")
+def balanced_rows():
+    """Time WORKERS*4 equal-cost tasks serial vs warm process pool.
+
+    This is the workload shape the campaign orchestrator produces: many
+    same-sized compute-bound cells with tiny payloads.  The process pool
+    is warmed by a throwaway wave first, so the measured wave shows the
+    steady-state dispatch cost a long campaign actually pays.
+    """
+    n_tasks = max(WORKERS, 1) * 4
+    payloads = [
+        {"size": 150_000, "iterations": scale(150, 600)}
+        for _ in range(n_tasks)
+    ]
+    rows = []
+    results = {}
+    for backend in ("serial", "process"):
+        with ParallelExecutor(
+            backend=backend, max_workers=WORKERS, seed=13
+        ) as executor:
+            # Warm the pool (and its workers' imports) outside the clock.
+            executor.map_tasks(
+                _cpu_task, [{"size": 64, "iterations": 1}] * 2,
+                label="warmup",
+            )
+            start = time.perf_counter()
+            results[backend] = executor.map_tasks(
+                _cpu_task, payloads, label="balanced"
+            )
+            elapsed = time.perf_counter() - start
+            rows.append(
+                _phase_row(
+                    backend, elapsed, executor.last_map_stats,
+                    {"workers": WORKERS if backend != "serial" else 1,
+                     "tasks": n_tasks},
+                )
+            )
+    assert results["process"] == results["serial"]  # determinism, again
+    serial_s = rows[0]["seconds"]
+    for row in rows:
+        row["speedup_vs_serial"] = serial_s / row["seconds"]
+    print_table(
+        f"balanced campaign workload ({n_tasks} tasks, {CORES} cores, "
+        f"{WORKERS} workers)",
+        rows,
+        ["backend", "workers", "seconds", "speedup_vs_serial",
+         "pool_startup_s", "dispatch_s", "task_compute_s", "result_wait_s"],
+    )
+    return rows
 
 
 @pytest.fixture(scope="module")
@@ -66,26 +147,58 @@ def executor_rows():
     rows = []
     services = {}
     for backend in BACKENDS:
-        executor = ParallelExecutor(backend=backend, max_workers=WORKERS)
-        service = TrainingService(config, executor=executor)
-        start = time.perf_counter()
-        service.train_all(topologies, dataset, sweep_name=f"bench-{backend}")
-        elapsed = time.perf_counter() - start
-        services[backend] = service
-        rows.append(
-            {"backend": backend, "seconds": elapsed,
-             "workers": WORKERS if backend != "serial" else 1,
-             "best": service.select_best().topology_name}
-        )
+        with ParallelExecutor(backend=backend, max_workers=WORKERS) as executor:
+            service = TrainingService(config, executor=executor)
+            start = time.perf_counter()
+            service.train_all(topologies, dataset, sweep_name=f"bench-{backend}")
+            elapsed = time.perf_counter() - start
+            stats = executor.last_map_stats
+            services[backend] = service
+            rows.append(
+                _phase_row(
+                    backend, elapsed, stats,
+                    {"workers": WORKERS if backend != "serial" else 1,
+                     "best": service.select_best().topology_name},
+                )
+            )
     serial_s = rows[0]["seconds"]
     for row in rows:
         row["speedup_vs_serial"] = serial_s / row["seconds"]
     print_table(
         f"executor scaling ({CORES} cores, {WORKERS} workers)",
         rows,
-        ["backend", "workers", "seconds", "speedup_vs_serial", "best"],
+        ["backend", "workers", "seconds", "speedup_vs_serial",
+         "pool_startup_s", "dispatch_s", "task_compute_s", "result_wait_s",
+         "best"],
     )
     return rows, services
+
+
+@pytest.fixture(scope="module")
+def pool_reuse_stats():
+    """Run two waves on one executor; the second must skip pool startup."""
+    with ParallelExecutor(
+        backend="process", max_workers=WORKERS, seed=3
+    ) as executor:
+        payloads = [{"size": 256, "iterations": 4}] * max(WORKERS * 2, 2)
+        executor.map_tasks(_cpu_task, payloads, label="first")
+        first = dict(executor.last_map_stats)
+        executor.map_tasks(_cpu_task, payloads, label="second")
+        second = dict(executor.last_map_stats)
+        stats = {
+            "first_startup_s": float(first["pool_startup_s"]),
+            "second_startup_s": float(second["pool_startup_s"]),
+            "pool_starts": executor.pool_starts,
+        }
+    print_table(
+        "warm pool reuse (process backend)",
+        [
+            {"call": "first", "pool_startup_s": stats["first_startup_s"]},
+            {"call": "second", "pool_startup_s": stats["second_startup_s"]},
+        ],
+        ["call", "pool_startup_s"],
+    )
+    return stats
 
 
 @pytest.fixture(scope="module")
@@ -137,20 +250,26 @@ def test_backends_byte_identical(executor_rows):
         ), backend
 
 
-def test_process_backend_scales(executor_rows):
-    rows, _ = executor_rows
-    times = {row["backend"]: row["seconds"] for row in rows}
+def test_process_backend_scales(balanced_rows):
+    times = {row["backend"]: row["seconds"] for row in balanced_rows}
     speedup = times["serial"] / times["process"]
-    if CORES >= 4 and WORKERS >= 4:
+    if CORES >= 2 and WORKERS >= 2:
         assert speedup >= 1.8, (
-            f"process backend only {speedup:.2f}x vs serial on {CORES} cores"
+            f"process backend only {speedup:.2f}x vs serial on {CORES} "
+            f"cores with {WORKERS} workers"
         )
     else:
         pytest.skip(
-            f"speedup assertion needs >= 4 cores and workers "
+            f"speedup assertion needs >= 2 cores and workers "
             f"(have {CORES} cores, {WORKERS} workers); "
             f"measured {speedup:.2f}x"
         )
+
+
+def test_second_wave_pays_no_pool_startup(pool_reuse_stats):
+    assert pool_reuse_stats["pool_starts"] == 1
+    assert pool_reuse_stats["first_startup_s"] > 0.0
+    assert pool_reuse_stats["second_startup_s"] == 0.0
 
 
 def test_warm_cache_at_least_10x(cache_rows):
@@ -160,7 +279,7 @@ def test_warm_cache_at_least_10x(cache_rows):
     )
 
 
-def test_write_results(executor_rows, cache_rows):
+def test_write_results(executor_rows, balanced_rows, pool_reuse_stats, cache_rows):
     sweep_rows, _ = executor_rows
     write_results(
         "compute_scaling",
@@ -169,6 +288,8 @@ def test_write_results(executor_rows, cache_rows):
             "workers": WORKERS,
             "full_scale": bool(int(os.environ.get("REPRO_FULL", "0"))),
             "executor": sweep_rows,
+            "balanced": balanced_rows,
+            "pool_reuse": pool_reuse_stats,
             "cache": cache_rows,
         },
     )

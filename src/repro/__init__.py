@@ -32,7 +32,11 @@ Subpackages:
 * :mod:`repro.uncertainty` — ensemble/MC-dropout mean + spread,
   split-conformal prediction intervals, the serving abstention gate
   ("I don't know" as a first-class outcome) and the width-greedy
-  acquisition planner closing the measurement loop.
+  acquisition planner closing the measurement loop;
+* :mod:`repro.orchestration` — the Fig-5/Fig-6 reproduction grid as one
+  resumable campaign: canonical-config cells cached per-row, journaled
+  progress with kill/resume to byte-identical reports, fan-out over the
+  warm-pooled executor.
 """
 
 __version__ = "1.0.0"

@@ -11,7 +11,9 @@ source code; this module is that surface:
 * ``telemetry``    — render exported span/metric JSONL files (or a live
   instrumented demo workload) as a human-readable report;
 * ``cache``        — inspect, verify or clear a content-addressed
-  artifact cache directory (``repro cache stats --dir <path>``).
+  artifact cache directory (``repro cache stats --dir <path>``);
+* ``sweep``        — plan, run (``--resume``-able) and report the
+  Fig-5/Fig-6 campaign grid through the sweep orchestrator.
 
 Datasets are ``.npz`` files with arrays ``x``, ``y`` and a JSON-encoded
 ``meta`` record.  Run ``python -m repro.cli <command> --help`` for options.
@@ -330,6 +332,126 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_spec(args: argparse.Namespace):
+    """Build the CampaignSpec a ``sweep`` invocation describes."""
+    from repro.orchestration import CampaignSpec
+
+    compounds = tuple(c.strip() for c in args.compounds.split(",") if c.strip())
+    activations = tuple(
+        tuple(part.strip() for part in pair.split(":"))
+        for pair in args.activations.split(",") if pair.strip()
+    )
+    sample_sizes = tuple(
+        int(n) for n in args.sample_sizes.split(",") if n.strip()
+    )
+    topologies = tuple(
+        tuple(int(units) for units in stack.split("x") if units.strip())
+        for stack in args.topologies.split(",") if stack.strip()
+    )
+    return CampaignSpec(
+        compounds=compounds,
+        activations=activations,
+        sample_sizes=sample_sizes,
+        topologies=topologies,
+        axis=(args.mz_start, args.mz_stop, args.mz_step),
+        n_eval=args.n_eval,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.compute import ArtifactCache, ParallelExecutor
+    from repro.orchestration import (
+        CampaignInProgressError,
+        IncompleteCampaignError,
+        SweepOrchestrator,
+        report_json,
+    )
+
+    spec = _sweep_spec(args)
+    cache = ArtifactCache(args.cache_dir)
+    orchestrator = SweepOrchestrator(
+        spec, cache, journal_path=args.journal
+    )
+
+    if args.sweep_action == "plan":
+        status = orchestrator.to_status()
+        print(f"campaign {status['campaign_key'][:16]}...  "
+              f"{status['cells']} cells "
+              f"({status['cached']} cached, {status['pending']} pending)")
+        for entry in status["plan"]:
+            state = "cached " if entry["cached"] else "pending"
+            print(f"  {state}  {entry['cell_id']}")
+        return 0
+
+    if args.sweep_action == "run":
+        with ParallelExecutor(
+            backend=args.backend, max_workers=args.workers
+        ) as executor:
+            orchestrator.executor = executor
+            orchestrator.prewarm_datasets()
+            try:
+                result = orchestrator.run(
+                    resume=args.resume, max_cells=args.max_cells
+                )
+            except CampaignInProgressError as error:
+                print(f"refused: {error}")
+                return 1
+        print(f"computed {result.computed}  cached {result.cached}  "
+              f"failed {result.failed}")
+        if result.paused:
+            print("paused with cells pending; continue with "
+                  "`repro sweep run --resume`")
+            return 0
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report_json(result.report))
+            print(f"wrote campaign report to {args.out}")
+        best = result.report.best_cell() if result.report.rows else None
+        if best is not None:
+            print(f"best cell: {best['cell_id']}  mae {best['mae']:.6f}")
+        return 1 if result.failed else 0
+
+    if args.sweep_action == "report":
+        try:
+            report = orchestrator.report(strict=not args.partial)
+        except IncompleteCampaignError as error:
+            print(f"incomplete: {error}")
+            return 1
+        payload = report.to_payload()
+        print(f"campaign {payload['campaign_key'][:16]}...  "
+              f"{payload['cells_completed']}/{payload['cells_total']} cells")
+        sizes = payload["sample_sizes"]
+        header = "".join(f"{f'n={n}':>12}" for n in sizes)
+        print(f"{'activation (mean mae)':26s}{header}")
+        for activation_id, row in sorted(
+            payload["accuracy_vs_samples"].items()
+        ):
+            cells = "".join(
+                f"{value:12.6f}" if value is not None else f"{'-':>12}"
+                for value in row
+            )
+            print(f"  {activation_id:24s}{cells}")
+        print(f"{'topology (mean mae)':26s}{header}")
+        for topology_id, row in sorted(payload["topology_surface"].items()):
+            cells = "".join(
+                f"{value:12.6f}" if value is not None else f"{'-':>12}"
+                for value in row
+            )
+            print(f"  {topology_id:24s}{cells}")
+        if report.rows:
+            best = report.best_cell()
+            print(f"best cell: {best['cell_id']}  mae {best['mae']:.6f}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report_json(report))
+            print(f"wrote campaign report to {args.out}")
+        return 0
+
+    raise SystemExit(f"unknown sweep action {args.sweep_action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -423,6 +545,54 @@ def build_parser() -> argparse.ArgumentParser:
              "AnalysisService and show Completed vs Abstained outcomes",
     )
     uncertainty.set_defaults(func=_cmd_uncertainty)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="plan, run (--resume-able) or report the Fig-5/Fig-6 "
+             "campaign grid",
+    )
+    sweep.add_argument(
+        "sweep_action", choices=["plan", "run", "report"],
+        help="plan: list cells and cached/pending state; run: execute "
+             "pending cells (journaled; --resume continues an "
+             "interrupted run); report: render the aggregated surface",
+    )
+    sweep.add_argument("--cache-dir", required=True,
+                       help="artifact cache root (cells + datasets)")
+    sweep.add_argument("--journal",
+                       help="campaign journal path (enables kill/resume)")
+    sweep.add_argument("--compounds", default="N2,O2,CO2")
+    sweep.add_argument(
+        "--activations", default="relu:softmax,selu:softmax",
+        help="comma-separated hidden:output activation pairs",
+    )
+    sweep.add_argument(
+        "--sample-sizes", default="256,1024",
+        help="comma-separated training-set sizes",
+    )
+    sweep.add_argument(
+        "--topologies", default="32,64x32",
+        help="comma-separated hidden stacks, units joined by 'x' "
+             "(e.g. 32,64x32)",
+    )
+    sweep.add_argument("--mz-start", type=float, default=1.0)
+    sweep.add_argument("--mz-stop", type=float, default=50.0)
+    sweep.add_argument("--mz-step", type=float, default=0.5)
+    sweep.add_argument("--n-eval", type=int, default=256)
+    sweep.add_argument("--epochs", type=int, default=4)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--backend", default="serial",
+                       choices=["serial", "thread", "process"])
+    sweep.add_argument("--workers", type=int, default=None)
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue a journal-recorded unfinished run")
+    sweep.add_argument("--max-cells", type=int, default=None,
+                       help="pause after computing this many new cells")
+    sweep.add_argument("--partial", action="store_true",
+                       help="report: allow summarizing an incomplete "
+                            "campaign")
+    sweep.add_argument("--out", help="write the report JSON here")
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

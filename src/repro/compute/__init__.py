@@ -16,7 +16,11 @@ paths scale with the hardware:
   :mod:`repro.storage.integrity` envelopes with verify-on-read, corrupt
   entry quarantine and a size-bounded LRU evict;
 * :mod:`repro.compute.datasets` — cache-aware wrappers deriving the
-  canonical generating configs of the MS and NMR bulk dataset generators.
+  canonical generating configs of the MS and NMR bulk dataset generators;
+* :mod:`repro.compute.sharing` — publish-once / map-many dataset handoff
+  for the process backend: arrays published as content-addressed ``.npy``
+  files, carried through payloads as tiny :class:`SharedArrayRef` handles
+  and resolved into per-worker read-only memory maps.
 
 Layering: ``compute`` sits beside ``reliability``/``storage``/
 ``observability`` (it imports all three) and below ``core``, which fans
@@ -41,12 +45,19 @@ from repro.compute.executor import (
     TaskError,
     TaskFailure,
 )
+from repro.compute.sharing import (
+    SharedArrayRef,
+    resolve_refs,
+    share_array,
+    share_arrays,
+)
 
 __all__ = [
     "ArtifactCache",
     "BACKENDS",
     "CACHE_FORMAT_VERSION",
     "ParallelExecutor",
+    "SharedArrayRef",
     "TaskError",
     "TaskFailure",
     "canonical_blob",
@@ -55,4 +66,7 @@ __all__ = [
     "generate_nmr_dataset",
     "ms_dataset_config",
     "nmr_dataset_config",
+    "resolve_refs",
+    "share_array",
+    "share_arrays",
 ]

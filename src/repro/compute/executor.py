@@ -4,7 +4,7 @@ The paper's offline workloads — bulk dataset generation and multi-topology
 training sweeps — are embarrassingly parallel, yet until now every candidate
 ran strictly serially.  :class:`ParallelExecutor` puts one ``map_tasks()``
 API in front of three interchangeable backends (``serial``, ``thread``,
-``process``) with three guarantees the sweeps depend on:
+``process``) with four guarantees the sweeps depend on:
 
 * **Determinism** — every task receives its own
   :class:`numpy.random.Generator` spawned from one root
@@ -14,13 +14,32 @@ API in front of three interchangeable backends (``serial``, ``thread``,
 * **Containment** — a task that raises is converted into a typed
   :class:`TaskFailure` in its result slot instead of killing the sweep;
   a hard worker death (e.g. a SIGKILL'd process breaking the pool) fails
-  the affected tasks the same way.  With a
-  :class:`~repro.reliability.retry.RetryPolicy` attached, failed tasks are
-  re-attempted in the parent process under the policy's backoff budget
-  before being declared dead.
-* **Observability** — each ``map_tasks`` call opens a ``compute.map`` span
-  and feeds per-task timing histograms and outcome counters, so a sweep's
-  scaling behaviour is measurable, not guessed.
+  the affected tasks the same way and the broken pool is rebuilt on the
+  next call.  With a :class:`~repro.reliability.retry.RetryPolicy`
+  attached, failed tasks are re-attempted in the parent process under the
+  policy's backoff budget before being declared dead.
+* **Warm reuse** — the worker pool is built once per executor lifetime
+  and reused across ``map_tasks`` calls, so a campaign of many waves pays
+  process spawn-up exactly once (:attr:`pool_starts` counts rebuilds; the
+  regression contract is that a second call on the same executor records
+  zero pool-startup time).  ``close()`` — or the context-manager exit —
+  releases the pool and any scattered arrays.  Tasks are dispatched in
+  chunks (several tasks per pool submission) to amortize per-future
+  overhead; chunking never changes per-task seeds, so it is invisible in
+  the results.
+* **Observability** — each ``map_tasks`` call opens a ``compute.map`` span,
+  feeds per-task timing histograms and outcome counters, and records a
+  per-phase breakdown (pool startup / dispatch / task compute / result
+  wait) in :attr:`last_map_stats`, so a scaling regression is diagnosable
+  instead of a single opaque ratio.
+
+Large inputs shared by every task should be published once with
+:meth:`ParallelExecutor.scatter` instead of being embedded per payload:
+on the ``process`` backend the arrays are written to the executor's
+scratch directory and replaced by tiny :class:`~repro.compute.sharing.SharedArrayRef`
+handles that workers resolve into read-only memory maps (mapped once per
+worker, not once per task); on ``serial``/``thread`` the same call is a
+pass-through, so calling code stays backend-agnostic.
 
 Worker functions must have the signature ``fn(payload, rng)`` and — for
 the ``process`` backend — be importable module-level callables with
@@ -34,18 +53,24 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.compute.sharing import resolve_refs, share_arrays
 from repro.observability.runtime import get_registry, get_tracer
 from repro.reliability.retry import RetryExhaustedError, RetryPolicy
 
 __all__ = ["BACKENDS", "TaskError", "TaskFailure", "ParallelExecutor"]
 
 BACKENDS = ("serial", "thread", "process")
+
+# Phase keys reported in ParallelExecutor.last_map_stats.
+_PHASES = ("pool_startup_s", "dispatch_s", "task_compute_s", "result_wait_s")
 
 
 class TaskError(RuntimeError):
@@ -80,13 +105,16 @@ def _execute_task(fn, payload, seed_seq, index, chaos):
     Module-level so the process backend can pickle it.  The per-task
     generator is rebuilt from the spawned ``SeedSequence`` child here, in
     the worker, so every backend (and every retry) sees the exact same
-    stream.  Exceptions are captured and re-packaged — a raising task must
-    cost one result slot, never the pool.
+    stream.  Scattered array handles are resolved into memory maps here
+    too, inside the containment boundary.  Exceptions are captured and
+    re-packaged — a raising task must cost one result slot, never the
+    pool.
     """
     start = time.perf_counter()
     try:
         if chaos is not None:
             chaos(index)
+        payload = resolve_refs(payload)
         rng = np.random.default_rng(seed_seq)
         result = fn(payload, rng)
         return True, result, None, None, time.perf_counter() - start
@@ -100,6 +128,31 @@ def _execute_task(fn, payload, seed_seq, index, chaos):
         )
 
 
+def _execute_chunk(fn, items, chaos):
+    """Run one chunk of tasks back-to-back in a single worker dispatch.
+
+    ``items`` is ``[(index, payload, seed_seq), ...]``; one outcome tuple
+    comes back per item, index-tagged so the parent can reassemble the
+    wave in payload order regardless of chunking.
+    """
+    return [
+        (index, _execute_task(fn, payload, seed_seq, index, chaos))
+        for index, payload, seed_seq in items
+    ]
+
+
+def _warm_worker(delay_s: float) -> int:
+    """No-op task used to force worker spin-up at pool creation time.
+
+    The tiny sleep keeps early workers busy long enough that the pool's
+    on-demand spawning brings up the full complement, so spawn cost is
+    paid (and measured) once, at startup, instead of leaking into the
+    first wave's dispatch.
+    """
+    time.sleep(delay_s)
+    return os.getpid()
+
+
 class ParallelExecutor:
     """One ``map_tasks()`` API over serial / thread / process backends."""
 
@@ -111,6 +164,7 @@ class ParallelExecutor:
         retries: int = 0,
         chaos: Optional[Callable[[int], None]] = None,
         seed: int = 0,
+        chunksize: Optional[int] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -118,6 +172,8 @@ class ParallelExecutor:
             raise ValueError("max_workers must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
         self.backend = backend
         self.max_workers = (
             int(max_workers) if max_workers is not None
@@ -136,6 +192,13 @@ class ParallelExecutor:
         self.retry_policy = retry_policy
         self.chaos = chaos
         self.seed = int(seed)
+        self.chunksize = chunksize
+        # Warm-pool state: one pool per executor lifetime, rebuilt only
+        # after close() or a hard break.
+        self._pool: Optional[concurrent.futures.Executor] = None
+        self._scratch: Optional[str] = None
+        self.pool_starts = 0
+        self.last_map_stats: Dict[str, object] = {}
         registry = get_registry()
         self._m_tasks = registry.counter(
             "compute_tasks_total", "executor tasks by backend and outcome"
@@ -143,6 +206,94 @@ class ParallelExecutor:
         self._m_task_seconds = registry.histogram(
             "compute_task_seconds", "per-task execution time by backend"
         )
+        self._m_pool_starts = registry.counter(
+            "compute_pool_starts_total", "worker pools built by backend"
+        )
+        self._m_phase_seconds = registry.histogram(
+            "compute_map_phase_seconds", "map_tasks time by phase"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the warm pool and any scattered arrays.
+
+        Idempotent; the executor stays usable — the next ``map_tasks``
+        simply pays pool startup again.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        # Best-effort cleanup for executors that were never close()d; the
+        # warm pool must not outlive its owner.
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            if self._scratch is not None:
+                shutil.rmtree(self._scratch, ignore_errors=True)
+        except Exception:  # noqa: BLE001 — interpreter may be tearing down
+            pass
+
+    def _ensure_pool(self):
+        """Return ``(pool, startup_seconds)``; builds and warms on demand."""
+        if self._pool is not None:
+            return self._pool, 0.0
+        start = time.perf_counter()
+        if self.backend == "thread":
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers
+            )
+        else:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+            # Force the full worker complement up-front: queued warm-up
+            # tasks keep early workers busy so on-demand spawning starts
+            # the rest, and spawn+import cost is attributed to startup.
+            concurrent.futures.wait([
+                pool.submit(_warm_worker, 0.02)
+                for _ in range(self.max_workers)
+            ])
+        self._pool = pool
+        self.pool_starts += 1
+        self._m_pool_starts.inc(backend=self.backend)
+        return pool, time.perf_counter() - start
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so the next call rebuilds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    # -- shared-memory handoff ----------------------------------------------
+
+    def scatter(self, arrays: Mapping[str, np.ndarray]) -> Dict[str, object]:
+        """Publish large arrays once for every task of a sweep.
+
+        On the ``process`` backend each array is written to the
+        executor's scratch directory and replaced by a picklable
+        :class:`~repro.compute.sharing.SharedArrayRef`; task payloads
+        carry the handle and workers resolve it into a read-only memory
+        map (once per worker, cached).  On ``serial``/``thread`` the
+        arrays are returned as-is — same calling code, no copies, no
+        disk round-trip.  Scattered files live until :meth:`close`.
+        """
+        if self.backend != "process":
+            return {name: np.asarray(value) for name, value in arrays.items()}
+        if self._scratch is None:
+            self._scratch = tempfile.mkdtemp(prefix="repro-scatter-")
+        return share_arrays(arrays, self._scratch)
 
     # -- the one API ---------------------------------------------------------
 
@@ -158,8 +309,8 @@ class ParallelExecutor:
         Returns one entry per payload: the task's return value, or a
         :class:`TaskFailure` if it failed every permitted attempt.  The
         per-task ``rng`` is ``default_rng(SeedSequence(seed).spawn(n)[i])``
-        regardless of backend, so results are byte-identical across
-        ``serial``/``thread``/``process`` for a fixed seed.
+        regardless of backend or chunking, so results are byte-identical
+        across ``serial``/``thread``/``process`` for a fixed seed.
         """
         payloads = list(payloads)
         n = len(payloads)
@@ -167,15 +318,17 @@ class ParallelExecutor:
         children = root.spawn(n) if n else []
         failures = 0
         retried_ok = 0
+        wall_start = time.perf_counter()
         with get_tracer().start_span(
             "compute.map",
             attributes={"backend": self.backend, "tasks": n, "label": label},
         ) as span:
-            outcomes = self._run_wave(fn, payloads, children)
+            outcomes, phases = self._run_wave(fn, payloads, children)
             results: List = [None] * n
             for index, outcome in enumerate(outcomes):
                 ok, value, error_type, message, duration = outcome
                 self._m_task_seconds.observe(duration, backend=self.backend)
+                phases["task_compute_s"] += duration
                 if ok:
                     self._m_tasks.inc(backend=self.backend, outcome="ok")
                     results[index] = value
@@ -199,42 +352,83 @@ class ParallelExecutor:
                         message=message,
                         attempts=attempts,
                     )
+            stats: Dict[str, object] = {
+                "backend": self.backend,
+                "label": label,
+                "tasks": n,
+                "wall_s": time.perf_counter() - wall_start,
+                **phases,
+            }
+            self.last_map_stats = stats
+            for phase in _PHASES:
+                self._m_phase_seconds.observe(
+                    float(stats[phase]), backend=self.backend, phase=phase
+                )
+                span.set_attribute(phase, float(stats[phase]))
             span.set_attribute("failures", failures)
             span.set_attribute("retried_ok", retried_ok)
         return results
 
     # -- backend waves -------------------------------------------------------
 
-    def _run_wave(self, fn, payloads, children) -> List[tuple]:
-        """One parallel pass over all payloads; one outcome tuple each."""
+    def _chunks(self, payloads, children) -> List[List[tuple]]:
+        """Index-tagged task chunks; size amortizes dispatch overhead."""
+        items = [
+            (index, payload, child)
+            for index, (payload, child) in enumerate(zip(payloads, children))
+        ]
+        size = self.chunksize
+        if size is None:
+            # Aim for ~4 chunks per worker: coarse enough to amortize
+            # dispatch, fine enough that one slow chunk cannot stall the
+            # wave's tail.
+            size = max(1, -(-len(items) // (self.max_workers * 4)))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _run_wave(self, fn, payloads, children):
+        """One parallel pass over all payloads.
+
+        Returns ``(outcomes, phases)`` where ``outcomes[i]`` is task
+        ``i``'s outcome tuple and ``phases`` carries the per-phase wall
+        times (``task_compute_s`` is accumulated by the caller from the
+        per-task durations).
+        """
+        phases = {phase: 0.0 for phase in _PHASES}
         if self.backend == "serial" or len(payloads) <= 1:
             return [
                 _execute_task(fn, payload, child, index, self.chaos)
                 for index, (payload, child) in enumerate(zip(payloads, children))
-            ]
-        if self.backend == "thread":
-            pool_cls = concurrent.futures.ThreadPoolExecutor
-        else:
-            pool_cls = concurrent.futures.ProcessPoolExecutor
-        workers = min(self.max_workers, len(payloads))
-        outcomes: List[tuple] = []
-        with pool_cls(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_execute_task, fn, payload, child, index, self.chaos)
-                for index, (payload, child) in enumerate(zip(payloads, children))
-            ]
-            for future in futures:
-                try:
-                    outcomes.append(future.result())
-                except BaseException as error:  # noqa: BLE001
-                    # A hard worker death (broken pool, unpicklable result)
-                    # must cost its tasks, not the sweep: report it like an
-                    # in-task failure and let the retry path re-run it
-                    # in-parent.
-                    outcomes.append(
-                        (False, None, type(error).__name__, str(error), 0.0)
+            ], phases
+        pool, phases["pool_startup_s"] = self._ensure_pool()
+        chunks = self._chunks(payloads, children)
+        dispatch_start = time.perf_counter()
+        futures = [
+            pool.submit(_execute_chunk, fn, chunk, self.chaos)
+            for chunk in chunks
+        ]
+        phases["dispatch_s"] = time.perf_counter() - dispatch_start
+        outcomes: List[Optional[tuple]] = [None] * len(payloads)
+        pool_broken = False
+        wait_start = time.perf_counter()
+        for chunk, future in zip(chunks, futures):
+            try:
+                for index, outcome in future.result():
+                    outcomes[index] = outcome
+            except BaseException as error:  # noqa: BLE001
+                # A hard worker death (broken pool, unpicklable result)
+                # must cost its chunk's tasks, not the sweep: report each
+                # like an in-task failure and let the retry path re-run
+                # them in-parent.
+                if isinstance(error, concurrent.futures.BrokenExecutor):
+                    pool_broken = True
+                for index, _payload, _child in chunk:
+                    outcomes[index] = (
+                        False, None, type(error).__name__, str(error), 0.0
                     )
-        return outcomes
+        phases["result_wait_s"] = time.perf_counter() - wait_start
+        if pool_broken:
+            self._discard_pool()
+        return outcomes, phases
 
     # -- retry path ----------------------------------------------------------
 
@@ -271,5 +465,6 @@ class ParallelExecutor:
     def __repr__(self) -> str:
         return (
             f"<ParallelExecutor backend={self.backend!r} "
-            f"max_workers={self.max_workers}>"
+            f"max_workers={self.max_workers} "
+            f"pool={'warm' if self._pool is not None else 'cold'}>"
         )

@@ -383,16 +383,27 @@ class TrainingService:
             "sentinel": config.sentinel,
             "sentinel_max_rollbacks": config.sentinel_max_rollbacks,
         }
+        # Publish the dataset once per sweep instead of once per payload:
+        # on the process backend every topology's payload carries tiny
+        # SharedArrayRef handles and workers resolve them into read-only
+        # memory maps; on serial/thread this is a pass-through.
+        shared = {
+            "train_x": train.x,
+            "train_y": train.y,
+            "val_x": validation.x,
+            "val_y": validation.y,
+        }
+        if evaluation_data is not None:
+            shared["eval_x"] = evaluation_data.x
+            shared["eval_y"] = evaluation_data.y
+        handles = self.executor.scatter(shared)
         payloads = [
             {
                 "topology_json": topology.to_json(),
                 "config": payload_config,
-                "train_x": train.x,
-                "train_y": train.y,
-                "val_x": validation.x,
-                "val_y": validation.y,
-                "eval_x": evaluation_data.x if evaluation_data is not None else None,
-                "eval_y": evaluation_data.y if evaluation_data is not None else None,
+                "eval_x": None,
+                "eval_y": None,
+                **handles,
             }
             for topology in to_train
         ]

@@ -1,0 +1,384 @@
+"""The campaign runner: plan cells, skip cached, journal progress, resume.
+
+:class:`SweepOrchestrator` turns a :class:`~repro.orchestration.campaign.CampaignSpec`
+into a supervised run:
+
+* **plan** — enumerate the grid in canonical order and probe the
+  :class:`~repro.compute.cache.ArtifactCache` for each cell's canonical
+  key, so the operator sees exactly what a run will cost before paying;
+* **run** — pre-warm the shared dataset artifacts in-parent (one
+  generation per sample-size column, not one per worker), fan pending
+  cells out over a :class:`~repro.compute.executor.ParallelExecutor` in
+  checkpointed waves, and append a journal record as each cell commits;
+* **resume** — an interrupted campaign leaves a ``campaign_started``
+  journal record without its ``campaign_completed``; reopening with
+  ``resume=True`` replays the journal, re-plans against the cache (the
+  cache, not the journal, is the source of truth for completed work —
+  a cell that committed its row before the kill replays as a verified
+  cache hit even if its journal append was torn), and runs only what is
+  missing.  Reopening *without* ``resume=True`` raises
+  :class:`CampaignInProgressError` so two operators cannot silently
+  interleave runs.
+
+The final :class:`~repro.orchestration.campaign.CampaignReport` is
+rebuilt from cached rows in canonical grid order, so a
+killed-and-resumed campaign serializes byte-identically to an
+uninterrupted one — the acceptance contract the resume tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.compute.cache import ArtifactCache, canonical_key
+from repro.compute.executor import ParallelExecutor, TaskFailure
+from repro.observability.runtime import get_registry, get_tracer
+from repro.orchestration.campaign import (
+    CampaignCell,
+    CampaignReport,
+    CampaignSpec,
+    campaign_datasets,
+    cell_config,
+    run_campaign_cell,
+)
+from repro.storage.journal import Journal
+
+__all__ = [
+    "CampaignInProgressError",
+    "IncompleteCampaignError",
+    "CampaignRunResult",
+    "SweepOrchestrator",
+    "report_json",
+]
+
+
+class CampaignInProgressError(RuntimeError):
+    """The journal shows a started-but-unfinished run and resume=False."""
+
+
+class IncompleteCampaignError(RuntimeError):
+    """A strict report was requested while cells are still pending."""
+
+
+@dataclass
+class CampaignRunResult:
+    """What one ``run()`` invocation did.
+
+    ``report`` is None when the run paused early (``max_cells``) with
+    cells still pending; resume with ``run(resume=True)``.
+    """
+
+    report: Optional[CampaignReport]
+    computed: int = 0
+    cached: int = 0
+    failed: int = 0
+    paused: bool = False
+    failures: List[dict] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.report is not None
+
+
+class SweepOrchestrator:
+    """Plans, executes, journals and resumes one campaign grid."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        cache: ArtifactCache,
+        journal_path: Optional[str] = None,
+        executor: Optional[ParallelExecutor] = None,
+        wave_size: Optional[int] = None,
+        on_cell: Optional[Callable[[int, CampaignCell, dict], None]] = None,
+    ):
+        if wave_size is not None and wave_size < 1:
+            raise ValueError("wave_size must be >= 1")
+        self.spec = spec
+        self.cache = cache
+        self.journal_path = journal_path
+        self.executor = executor
+        self.wave_size = wave_size
+        # Parent-side hook fired after each newly computed cell commits
+        # (tests use it to kill a run at a precise point in the grid).
+        self.on_cell = on_cell
+        registry = get_registry()
+        self._m_cells = registry.counter(
+            "orchestration_cells_total", "campaign cells by outcome"
+        )
+        self._m_runs = registry.counter(
+            "orchestration_runs_total", "campaign run() calls by disposition"
+        )
+
+    # -- planning ------------------------------------------------------------
+
+    def cells(self) -> List[CampaignCell]:
+        return self.spec.cells()
+
+    def plan(self) -> List[dict]:
+        """One entry per cell: id, canonical key, and cached state."""
+        entries = []
+        for cell in self.cells():
+            key = canonical_key(cell_config(self.spec, cell))
+            entries.append(
+                {
+                    "cell_id": cell.cell_id,
+                    "key": key,
+                    "cached": self.cache.path_for(key).exists(),
+                }
+            )
+        return entries
+
+    # -- journal -------------------------------------------------------------
+
+    def _journal(self) -> Optional[Journal]:
+        if self.journal_path is None:
+            return None
+        return Journal(self.journal_path)
+
+    def _journal_state(self, journal: Journal) -> str:
+        """``'fresh'`` | ``'in_progress'`` | ``'completed'``.
+
+        Also guards against pointing one journal at a different
+        campaign: every record carries the campaign key.
+        """
+        if not journal.exists():
+            return "fresh"
+        records, _stats = journal.replay()
+        state = "fresh"
+        for record in records:
+            recorded_key = record.get("campaign_key")
+            if recorded_key is not None and recorded_key != self.spec.campaign_key():
+                raise ValueError(
+                    f"journal {self.journal_path} belongs to campaign "
+                    f"{recorded_key[:12]}…, not {self.spec.campaign_key()[:12]}…"
+                )
+            event = record.get("event")
+            if event in ("campaign_started", "campaign_resumed"):
+                state = "in_progress"
+            elif event == "campaign_completed":
+                state = "completed"
+        return state
+
+    # -- execution -----------------------------------------------------------
+
+    def _payload(self, cell: CampaignCell) -> dict:
+        return {
+            "spec": self.spec.as_config(),
+            "cell": cell.as_config(),
+            "cache_root": str(self.cache.root),
+        }
+
+    def run(
+        self,
+        resume: bool = False,
+        max_cells: Optional[int] = None,
+    ) -> CampaignRunResult:
+        """Execute (or resume) the campaign; returns what happened.
+
+        ``max_cells`` stops scheduling after that many *newly computed*
+        cells commit, leaving the journal in progress — the deterministic
+        pause the CI smoke uses in place of an actual kill.  Completed
+        campaigns re-run as pure cache replay and still return the full
+        report.
+        """
+        if max_cells is not None and max_cells < 0:
+            raise ValueError("max_cells must be >= 0")
+        journal = self._journal()
+        try:
+            if journal is not None:
+                state = self._journal_state(journal)
+                if state == "in_progress" and not resume:
+                    raise CampaignInProgressError(
+                        f"journal {self.journal_path} records an unfinished "
+                        f"campaign; pass resume=True (CLI: --resume) to "
+                        f"continue it"
+                    )
+                event = (
+                    "campaign_resumed" if state == "in_progress"
+                    else "campaign_started"
+                )
+                journal.append(
+                    {
+                        "event": event,
+                        "campaign_key": self.spec.campaign_key(),
+                        "cells": len(self.cells()),
+                    }
+                )
+                self._m_runs.inc(
+                    disposition="resumed" if event == "campaign_resumed"
+                    else "started"
+                )
+            else:
+                self._m_runs.inc(disposition="unjournaled")
+            return self._run_cells(journal, max_cells)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _run_cells(
+        self, journal: Optional[Journal], max_cells: Optional[int]
+    ) -> CampaignRunResult:
+        plan = self.plan()
+        cells = self.cells()
+        pending = [
+            (index, cell)
+            for index, (cell, entry) in enumerate(zip(cells, plan))
+            if not entry["cached"]
+        ]
+        executor = self.executor if self.executor is not None else ParallelExecutor()
+        wave_size = (
+            self.wave_size if self.wave_size is not None
+            else max(1, executor.max_workers)
+        )
+        result = CampaignRunResult(
+            report=None, cached=len(cells) - len(pending)
+        )
+        for _ in range(result.cached):
+            self._m_cells.inc(outcome="cached")
+        budget = max_cells if max_cells is not None else len(pending)
+        with get_tracer().start_span(
+            "orchestration.campaign",
+            attributes={
+                "cells": len(cells),
+                "cached": result.cached,
+                "pending": len(pending),
+                "backend": executor.backend,
+            },
+        ) as span:
+            scheduled = pending[:budget]
+            for start in range(0, len(scheduled), wave_size):
+                wave = scheduled[start:start + wave_size]
+                rows = executor.map_tasks(
+                    run_campaign_cell,
+                    [self._payload(cell) for _index, cell in wave],
+                    label="campaign",
+                )
+                for (index, cell), row in zip(wave, rows):
+                    if isinstance(row, TaskFailure):
+                        result.failed += 1
+                        self._m_cells.inc(outcome="failed")
+                        failure = {
+                            "cell_id": cell.cell_id,
+                            "error_type": row.error_type,
+                            "message": row.message,
+                            "attempts": row.attempts,
+                        }
+                        result.failures.append(failure)
+                        if journal is not None:
+                            journal.append(
+                                {
+                                    "event": "cell_failed",
+                                    "campaign_key": self.spec.campaign_key(),
+                                    **failure,
+                                }
+                            )
+                        continue
+                    result.computed += 1
+                    self._m_cells.inc(outcome="computed")
+                    if journal is not None:
+                        journal.append(
+                            {
+                                "event": "cell_completed",
+                                "campaign_key": self.spec.campaign_key(),
+                                "cell_id": cell.cell_id,
+                                "cell_index": index,
+                                "cache_key": row.get("cache_key"),
+                            }
+                        )
+                    if self.on_cell is not None:
+                        self.on_cell(index, cell, row)
+            result.paused = (
+                result.computed + result.failed < len(pending)
+            )
+            span.set_attribute("computed", result.computed)
+            span.set_attribute("failed", result.failed)
+            span.set_attribute("paused", result.paused)
+            if result.paused:
+                self._m_runs.inc(disposition="paused")
+                return result
+            result.report = self._build_report(result.failures)
+            if journal is not None and result.failed == 0:
+                journal.append(
+                    {
+                        "event": "campaign_completed",
+                        "campaign_key": self.spec.campaign_key(),
+                        "cells": len(cells),
+                        "report_digest": canonical_key(
+                            result.report.to_payload()
+                        ),
+                    }
+                )
+                self._m_runs.inc(disposition="completed")
+        return result
+
+    # -- reporting -----------------------------------------------------------
+
+    def prewarm_datasets(self) -> int:
+        """Generate the shared dataset artifacts in-parent.
+
+        One training set per sample-size column plus the single shared
+        evaluation set; returns how many artifacts were cache misses.
+        Running this before fan-out stops N concurrent cold workers all
+        generating the same spectra.
+        """
+        misses = 0
+        for n_train in self.spec.sample_sizes:
+            (_, _, train_info), (_, _, eval_info) = campaign_datasets(
+                self.spec, n_train, self.cache
+            )
+            misses += (not train_info["hit"]) + (not eval_info["hit"])
+        return misses
+
+    def _build_report(self, failures: List[dict]) -> CampaignReport:
+        """Rebuild the report purely from cached rows, in grid order.
+
+        Every completed cell replays as a verified cache hit here, which
+        is what makes the report byte-identical no matter how the
+        campaign was interrupted along the way.
+        """
+        failed_ids = {failure["cell_id"] for failure in failures}
+        rows = []
+        for cell in self.cells():
+            if cell.cell_id in failed_ids:
+                continue
+            key = canonical_key(cell_config(self.spec, cell))
+            if not self.cache.path_for(key).exists():
+                continue
+            rows.append(run_campaign_cell(self._payload(cell)))
+        return CampaignReport.from_rows(self.spec, rows, failures)
+
+    def report(self, strict: bool = True) -> CampaignReport:
+        """The aggregated surface of whatever the cache holds.
+
+        ``strict=True`` (the default) refuses to summarize a partial
+        campaign; pass ``strict=False`` to render work-in-progress.
+        """
+        plan = self.plan()
+        missing = [entry["cell_id"] for entry in plan if not entry["cached"]]
+        if missing and strict:
+            raise IncompleteCampaignError(
+                f"{len(missing)} of {len(plan)} cells have not completed "
+                f"(first missing: {missing[0]}); run the campaign or pass "
+                f"strict=False"
+            )
+        return self._build_report([])
+
+    def to_status(self) -> dict:
+        """JSON-ready plan summary for the CLI."""
+        plan = self.plan()
+        cached = sum(1 for entry in plan if entry["cached"])
+        return {
+            "campaign_key": self.spec.campaign_key(),
+            "cells": len(plan),
+            "cached": cached,
+            "pending": len(plan) - cached,
+            "plan": plan,
+        }
+
+
+def report_json(report: CampaignReport) -> str:
+    """The canonical serialized form (what byte-identity is asserted on)."""
+    return json.dumps(report.to_payload(), sort_keys=True, indent=2)

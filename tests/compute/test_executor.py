@@ -175,3 +175,87 @@ class TestObservability:
             )
             tasks = registry.counter("compute_tasks_total")
             assert tasks.value(backend="serial", outcome="retried_ok") == 1
+
+
+def _pid_task(payload, rng):
+    import os
+
+    return os.getpid()
+
+
+class TestWarmPool:
+    """The pool is built once per executor lifetime and reused."""
+
+    def test_second_map_tasks_pays_no_pool_startup(self):
+        with ParallelExecutor(backend="process", max_workers=2) as executor:
+            executor.map_tasks(_draw, [1.0, 2.0, 3.0])
+            assert executor.pool_starts == 1
+            assert executor.last_map_stats["pool_startup_s"] > 0.0
+            executor.map_tasks(_draw, [4.0, 5.0, 6.0])
+            assert executor.pool_starts == 1
+            assert executor.last_map_stats["pool_startup_s"] == 0.0
+
+    def test_workers_are_reused_across_calls(self):
+        with ParallelExecutor(backend="process", max_workers=2) as executor:
+            first = set(executor.map_tasks(_pid_task, [0, 1, 2, 3]))
+            second = set(executor.map_tasks(_pid_task, [0, 1, 2, 3]))
+            assert first & second
+
+    def test_close_releases_pool_and_next_call_rebuilds(self):
+        executor = ParallelExecutor(backend="thread", max_workers=2)
+        executor.map_tasks(_draw, [1.0, 2.0])
+        assert executor.pool_starts == 1
+        executor.close()
+        executor.close()  # idempotent
+        executor.map_tasks(_draw, [1.0, 2.0])
+        assert executor.pool_starts == 2
+        executor.close()
+
+    def test_serial_backend_never_builds_a_pool(self):
+        executor = ParallelExecutor(backend="serial")
+        executor.map_tasks(_draw, [1.0, 2.0, 3.0])
+        assert executor.pool_starts == 0
+
+    def test_pool_start_counter(self):
+        with scoped() as (registry, _):
+            with ParallelExecutor(backend="thread", max_workers=2) as executor:
+                executor.map_tasks(_draw, [1.0, 2.0])
+                executor.map_tasks(_draw, [3.0, 4.0])
+            starts = registry.counter("compute_pool_starts_total")
+            assert starts.value(backend="thread") == 1
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            ParallelExecutor(chunksize=0)
+
+    def test_explicit_chunksize_keeps_determinism(self):
+        baseline = ParallelExecutor(backend="serial", seed=11)
+        expected = np.stack(baseline.map_tasks(_draw, [1.0, 2.0, 3.0, 4.0, 5.0]))
+        with ParallelExecutor(
+            backend="thread", max_workers=2, seed=11, chunksize=2
+        ) as executor:
+            chunked = np.stack(
+                executor.map_tasks(_draw, [1.0, 2.0, 3.0, 4.0, 5.0])
+            )
+        np.testing.assert_array_equal(chunked, expected)
+
+
+class TestPhaseStats:
+    def test_last_map_stats_reports_every_phase(self):
+        with ParallelExecutor(backend="thread", max_workers=2) as executor:
+            executor.map_tasks(_draw, [1.0, 2.0, 3.0], label="phase-check")
+            stats = executor.last_map_stats
+        for key in (
+            "pool_startup_s", "dispatch_s", "task_compute_s",
+            "result_wait_s", "wall_s",
+        ):
+            assert key in stats and stats[key] >= 0.0
+        assert stats["tasks"] == 3
+        assert stats["label"] == "phase-check"
+
+    def test_phase_histogram_collected(self):
+        with scoped() as (registry, _):
+            with ParallelExecutor(backend="thread", max_workers=2) as executor:
+                executor.map_tasks(_draw, [1.0, 2.0])
+            histogram = registry.histogram("compute_map_phase_seconds")
+            assert histogram.count(backend="thread", phase="task_compute_s") == 1

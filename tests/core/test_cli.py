@@ -1,5 +1,7 @@
 """Unit tests for the command-line toolchain."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -141,3 +143,91 @@ class TestParser:
         for command in ("ms-generate", "train", "evaluate", "table2",
                         "nmr-campaign", "cache"):
             assert command in output
+
+
+class TestSweep:
+    """The sweep subcommand: plan, journaled run/resume, report."""
+
+    ARGS = [
+        "--compounds", "N2,O2",
+        "--activations", "relu:softmax,selu:softmax",
+        "--sample-sizes", "48",
+        "--topologies", "6",
+        "--n-eval", "24",
+        "--epochs", "1",
+        "--seed", "5",
+    ]
+
+    def _invoke(self, action, tmp_path, *extra):
+        return main([
+            "sweep", action,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(tmp_path / "campaign.journal"),
+            *self.ARGS, *extra,
+        ])
+
+    def test_plan_lists_cells(self, tmp_path, capsys):
+        assert self._invoke("plan", tmp_path) == 0
+        output = capsys.readouterr().out
+        assert "2 cells (0 cached, 2 pending)" in output
+        assert "pending  relu-softmax/n48/h6" in output
+        assert "pending  selu-softmax/n48/h6" in output
+
+    def test_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = self._invoke("run", tmp_path, "--out", str(out))
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "computed 2  cached 0  failed 0" in output
+        assert "best cell:" in output
+        payload = json.loads(out.read_text())
+        assert payload["cells_completed"] == 2
+        assert "accuracy_vs_samples" in payload
+
+    def test_paused_run_requires_resume_then_completes(self, tmp_path, capsys):
+        assert self._invoke("run", tmp_path, "--max-cells", "1") == 0
+        assert "paused with cells pending" in capsys.readouterr().out
+
+        # reopening without --resume is refused
+        assert self._invoke("run", tmp_path) == 1
+        assert "refused:" in capsys.readouterr().out
+
+        assert self._invoke("run", tmp_path, "--resume") == 0
+        assert "computed 1  cached 1" in capsys.readouterr().out
+
+    def test_resumed_report_matches_uninterrupted_run(self, tmp_path, capsys):
+        self._invoke("run", tmp_path, "--max-cells", "1")
+        resumed = tmp_path / "resumed.json"
+        self._invoke("run", tmp_path, "--resume", "--out", str(resumed))
+
+        control_dir = tmp_path / "control"
+        control = tmp_path / "control.json"
+        assert main([
+            "sweep", "run",
+            "--cache-dir", str(control_dir / "cache"),
+            "--journal", str(control_dir / "campaign.journal"),
+            *self.ARGS, "--out", str(control),
+        ]) == 0
+        capsys.readouterr()
+        assert resumed.read_text() == control.read_text()
+
+    def test_report_refuses_incomplete_campaign(self, tmp_path, capsys):
+        self._invoke("run", tmp_path, "--max-cells", "1")
+        capsys.readouterr()
+        assert self._invoke("report", tmp_path) == 1
+        assert "incomplete:" in capsys.readouterr().out
+
+    def test_partial_report_renders(self, tmp_path, capsys):
+        self._invoke("run", tmp_path, "--max-cells", "1")
+        capsys.readouterr()
+        assert self._invoke("report", tmp_path, "--partial") == 0
+        assert "1/2 cells" in capsys.readouterr().out
+
+    def test_report_renders_surfaces(self, tmp_path, capsys):
+        self._invoke("run", tmp_path)
+        capsys.readouterr()
+        assert self._invoke("report", tmp_path) == 0
+        output = capsys.readouterr().out
+        assert "activation (mean mae)" in output
+        assert "topology (mean mae)" in output
+        assert "n=48" in output

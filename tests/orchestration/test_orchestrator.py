@@ -1,0 +1,163 @@
+"""Unit tests for the sweep orchestrator: plan, run, journal, resume."""
+
+import pytest
+
+from repro.compute import ArtifactCache
+from repro.observability.runtime import scoped
+from repro.orchestration import (
+    CampaignInProgressError,
+    CampaignSpec,
+    IncompleteCampaignError,
+    SweepOrchestrator,
+    report_json,
+)
+
+SPEC = CampaignSpec(
+    compounds=("N2", "O2"),
+    activations=(("relu", "softmax"), ("selu", "softmax")),
+    sample_sizes=(48,),
+    topologies=((6,),),
+    n_eval=24,
+    epochs=1,
+    seed=5,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+def _orchestrator(cache, tmp_path, **kwargs):
+    kwargs.setdefault("journal_path", str(tmp_path / "campaign.journal"))
+    return SweepOrchestrator(SPEC, cache, **kwargs)
+
+
+class TestPlan:
+    def test_cold_plan_is_all_pending(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        plan = orchestrator.plan()
+        assert len(plan) == 2
+        assert all(not entry["cached"] for entry in plan)
+        assert plan[0]["cell_id"] == "relu-softmax/n48/h6"
+
+    def test_plan_reflects_cache_state_after_run(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        orchestrator.run()
+        assert all(entry["cached"] for entry in orchestrator.plan())
+
+    def test_to_status_counts(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        orchestrator.run(max_cells=1, resume=False)
+        status = orchestrator.to_status()
+        assert status["cells"] == 2
+        assert status["cached"] == 1
+        assert status["pending"] == 1
+
+
+class TestRun:
+    def test_full_run_completes_with_report(self, cache, tmp_path):
+        result = _orchestrator(cache, tmp_path).run()
+        assert result.complete and not result.paused
+        assert result.computed == 2 and result.cached == 0
+        assert len(result.report.rows) == 2
+
+    def test_rerun_is_pure_cache_replay(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        first = orchestrator.run()
+        second = orchestrator.run()
+        assert second.computed == 0 and second.cached == 2
+        assert report_json(second.report) == report_json(first.report)
+
+    def test_max_cells_pauses_without_report(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        result = orchestrator.run(max_cells=1)
+        assert result.paused and result.report is None
+        assert result.computed == 1
+
+    def test_prewarm_generates_shared_datasets_once(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        assert orchestrator.prewarm_datasets() == 2  # one train + one eval
+        assert orchestrator.prewarm_datasets() == 0
+
+    def test_cell_counters(self, cache, tmp_path):
+        with scoped() as (registry, _):
+            orchestrator = _orchestrator(cache, tmp_path)
+            orchestrator.run(max_cells=1)
+            orchestrator.run(resume=True)
+            cells = registry.counter("orchestration_cells_total")
+            assert cells.value(outcome="computed") == 2
+            assert cells.value(outcome="cached") == 1
+
+    def test_campaign_span_emitted(self, cache, tmp_path):
+        with scoped() as (_, tracer):
+            _orchestrator(cache, tmp_path).run()
+        spans = [
+            span for span in tracer.finished_spans()
+            if span.name == "orchestration.campaign"
+        ]
+        assert len(spans) == 1
+        assert spans[0].attributes["cells"] == 2
+        assert spans[0].attributes["computed"] == 2
+
+
+class TestJournal:
+    def test_unfinished_run_refused_without_resume(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        orchestrator.run(max_cells=1)
+        with pytest.raises(CampaignInProgressError, match="--resume"):
+            orchestrator.run()
+
+    def test_resume_completes_the_grid(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        orchestrator.run(max_cells=1)
+        result = orchestrator.run(resume=True)
+        assert result.complete
+        assert result.computed == 1 and result.cached == 1
+
+    def test_completed_campaign_reopens_without_resume(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        orchestrator.run()
+        result = orchestrator.run()  # no resume needed: journal shows completed
+        assert result.complete
+
+    def test_journal_guards_against_wrong_campaign(self, cache, tmp_path):
+        journal_path = str(tmp_path / "campaign.journal")
+        SweepOrchestrator(SPEC, cache, journal_path=journal_path).run(
+            max_cells=1
+        )
+        other_spec = CampaignSpec(
+            compounds=("N2", "O2"),
+            activations=(("relu", "softmax"),),
+            sample_sizes=(48,),
+            topologies=((6,),),
+            n_eval=24,
+            epochs=1,
+            seed=6,
+        )
+        other = SweepOrchestrator(other_spec, cache, journal_path=journal_path)
+        with pytest.raises(ValueError, match="belongs to campaign"):
+            other.run(resume=True)
+
+    def test_unjournaled_run_works(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path, journal_path=None)
+        assert orchestrator.run().complete
+
+
+class TestReport:
+    def test_strict_report_refuses_partial_campaign(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        orchestrator.run(max_cells=1)
+        with pytest.raises(IncompleteCampaignError, match="1 of 2"):
+            orchestrator.report()
+
+    def test_partial_report_renders_what_exists(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        orchestrator.run(max_cells=1)
+        report = orchestrator.report(strict=False)
+        assert len(report.rows) == 1
+
+    def test_report_matches_run_report(self, cache, tmp_path):
+        orchestrator = _orchestrator(cache, tmp_path)
+        run_report = orchestrator.run().report
+        assert report_json(orchestrator.report()) == report_json(run_report)
