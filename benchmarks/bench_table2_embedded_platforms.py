@@ -6,6 +6,15 @@ the exact per-layer FLOP counts of the Table-1 network, for the paper's
 speedup 4.8-7.1x, energy improvement 5.0-6.3x, and the ~2.1x CUDA-core
 scaling from Nano (128 cores) to TX2 (256 cores).
 
+A second table re-derives every platform's numbers from *frozen plans*
+(``InferenceCostModel.estimate_plan``): the layerwise estimate versus
+the fused float32 plan versus the calibrated int8 plan, at single-sample
+latency (batch 1, the embedded operating point).  Fusing can only remove
+kernel launches and int8 can only shrink weight traffic, so the
+orderings ``fused <= layerwise`` and ``int8 <= float32`` are asserted
+per platform, alongside the ~4x weight-byte cut the int8 artifact
+carries.
+
 The benchmark times the cost-model evaluation itself.
 """
 
@@ -14,6 +23,7 @@ import pytest
 from repro.core import table1_topology
 from repro.embedded import TABLE2_PLATFORMS
 from repro.embedded.cost_model import InferenceCostModel
+from repro.inference import freeze
 
 from conftest import print_table, write_results
 
@@ -101,3 +111,59 @@ def test_table2_rows(benchmark, network):
         assert 4.0 < row["gpu_speedup"] < 8.0
         assert 4.2 < row["energy_ratio"] < 7.0
     assert 1.5 < scaling < 2.6
+
+
+def test_frozen_plan_costs(network):
+    """Platform numbers re-derived from real fused-op counts and byte sizes."""
+    f32_plan = freeze(network)
+    int8_plan = freeze(network, dtype="int8")
+
+    rows = []
+    for key, spec in TABLE2_PLATFORMS.items():
+        cost_model = InferenceCostModel(spec)
+        # Batch 1: the embedded single-spectrum latency point, where
+        # weight traffic is not amortized across a batch.
+        layerwise = cost_model.estimate(network, DATASET_SIZE, batch_size=1)
+        fused_f32 = cost_model.estimate_plan(
+            f32_plan, DATASET_SIZE, batch_size=1
+        )
+        fused_int8 = cost_model.estimate_plan(
+            int8_plan, DATASET_SIZE, batch_size=1
+        )
+        rows.append(
+            {
+                "platform": spec.name,
+                "layerwise_s": layerwise.execution_time_s,
+                "fused_f32_s": fused_f32.execution_time_s,
+                "fused_int8_s": fused_int8.execution_time_s,
+                "fused_f32_j": fused_f32.energy_j,
+                "fused_int8_j": fused_int8.energy_j,
+            }
+        )
+    print_table(
+        "Frozen-plan cost model (batch 1: single-spectrum latency)",
+        rows,
+        ["platform", "layerwise_s", "fused_f32_s", "fused_int8_s",
+         "fused_f32_j", "fused_int8_j"],
+    )
+    write_results(
+        "table2_frozen_plans",
+        {
+            "rows": rows,
+            "fused_ops": f32_plan.fused_op_count,
+            "source_layers": len(f32_plan.source_layers),
+            "weight_bytes_f32": f32_plan.weight_bytes,
+            "weight_bytes_int8": int8_plan.weight_bytes,
+            "dataset_size": DATASET_SIZE,
+        },
+    )
+
+    # Fusing removes kernel launches; int8 shrinks weight traffic.
+    # Neither can make any platform slower.
+    for row in rows:
+        assert row["fused_f32_s"] <= row["layerwise_s"] + 1e-9
+        assert row["fused_int8_s"] <= row["fused_f32_s"] + 1e-9
+    # The plan really is fused (fewer launched ops than model layers,
+    # views free) and the int8 artifact carries the ~4x weight cut.
+    assert f32_plan.fused_op_count < len(network.layers)
+    assert f32_plan.weight_bytes > 3.5 * int8_plan.weight_bytes

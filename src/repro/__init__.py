@@ -36,7 +36,11 @@ Subpackages:
 * :mod:`repro.orchestration` — the Fig-5/Fig-6 reproduction grid as one
   resumable campaign: canonical-config cells cached per-row, journaled
   progress with kill/resume to byte-identical reports, fan-out over the
-  warm-pooled executor.
+  warm-pooled executor;
+* :mod:`repro.inference` — frozen inference engine: models compiled
+  into immutable plans of fused, optionally int8-quantized kernels
+  with pinned accuracy contracts, shared by serving (``frozen=``) and
+  the embedded cost model.
 """
 
 __version__ = "1.0.0"

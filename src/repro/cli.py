@@ -7,6 +7,8 @@ source code; this module is that surface:
 * ``train``        — Tool 4: train a topology on a dataset file;
 * ``evaluate``     — Tool 4 backend: score a trained model on a dataset;
 * ``table2``       — predict embedded execution costs for a trained model;
+* ``freeze``       — compile a checkpoint into a frozen inference plan
+  envelope (float32 or calibrated int8), or inspect/verify one;
 * ``nmr-campaign`` — run the virtual NMR DoE campaign and save its spectra;
 * ``telemetry``    — render exported span/metric JSONL files (or a live
   instrumented demo workload) as a human-readable report;
@@ -136,6 +138,64 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         )
         print(f"{spec.name:22s}{estimate.execution_time_s:10.2f}"
               f"{estimate.power_w:10.2f}{estimate.energy_j:10.2f}")
+    return 0
+
+
+def _cmd_freeze(args: argparse.Namespace) -> int:
+    from repro.storage.integrity import StorageError
+
+    if args.inspect or args.verify:
+        from repro.inference import inspect_plan, verify_plan
+
+        try:
+            if args.verify:
+                report = verify_plan(args.model)
+                print(
+                    f"plan OK: {report['name']} [{report['dtype']}] "
+                    f"{report['fused_op_count']} fused ops, "
+                    f"{report['weight_bytes']:,} weight bytes, "
+                    f"contract MAE <= {report['contract_mae']:g}"
+                )
+            else:
+                print(json.dumps(inspect_plan(args.model), indent=2,
+                                 sort_keys=True))
+        except StorageError as error:
+            print(f"plan check FAILED: {error}", file=sys.stderr)
+            return 1
+        return 0
+
+    from repro import nn
+    from repro.inference import UnsupportedLayerError, freeze, save_plan
+
+    model = nn.load_model(args.model)
+    calibration = None
+    if args.calibrate:
+        x, _, _ = _load_dataset(args.calibrate)
+        calibration = x[: args.calibrate_samples]
+    try:
+        plan = freeze(
+            model,
+            dtype=args.dtype,
+            per_channel=args.per_channel,
+            calibration=calibration,
+            contract=args.contract,
+        )
+    except UnsupportedLayerError as error:
+        print(f"cannot freeze: {error}", file=sys.stderr)
+        return 1
+    out = args.out
+    if out is None:
+        stem = args.model[:-4] if args.model.endswith(".npz") else args.model
+        out = stem + ".plan"
+    path = save_plan(plan, out)
+    print(plan.describe())
+    if plan.calibration:
+        print(
+            f"calibrated on {plan.calibration['n_samples']} samples: "
+            f"MAE delta {plan.calibration['mae_delta']:.3e}, "
+            f"max {plan.calibration['max_abs_delta']:.3e}"
+        )
+    print(f"saved plan envelope to {path}")
     return 0
 
 
@@ -492,6 +552,44 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--samples", type=int, default=21_600)
     table2.add_argument("--batch-size", type=int, default=128)
     table2.set_defaults(func=_cmd_table2)
+
+    frz = sub.add_parser(
+        "freeze",
+        help="compile a checkpoint into a frozen inference plan "
+        "(or --inspect/--verify an existing plan envelope)",
+    )
+    frz.add_argument(
+        "model",
+        help="model checkpoint (.npz) to freeze; with --inspect/--verify, "
+        "an existing .plan envelope",
+    )
+    frz.add_argument(
+        "--out", default=None, help="plan output path (default: <model>.plan)"
+    )
+    frz.add_argument("--dtype", choices=["float32", "int8"], default="float32")
+    frz.add_argument(
+        "--per-channel", dest="per_channel", action="store_true",
+        help="per-output-channel int8 scales instead of per-tensor",
+    )
+    frz.add_argument(
+        "--calibrate", default=None,
+        help="dataset .npz; measures the frozen-vs-reference delta at freeze "
+        "time and records it on the plan",
+    )
+    frz.add_argument("--calibrate-samples", type=int, default=256)
+    frz.add_argument(
+        "--contract", type=float, default=None,
+        help="override the pinned per-dtype MAE contract",
+    )
+    frz.add_argument(
+        "--inspect", action="store_true",
+        help="print a JSON summary of an existing plan envelope",
+    )
+    frz.add_argument(
+        "--verify", action="store_true",
+        help="integrity-check an existing plan envelope (exit 1 on damage)",
+    )
+    frz.set_defaults(func=_cmd_freeze)
 
     campaign = sub.add_parser("nmr-campaign", help="run the virtual NMR DoE")
     campaign.add_argument("--spectra-per-plateau", type=int, default=11)

@@ -102,6 +102,63 @@ class InferenceCostModel:
             per_layer_seconds=per_layer,
         )
 
+    def estimate_plan(
+        self,
+        plan,
+        n_samples: int,
+        batch_size: int = 128,
+    ) -> CostEstimate:
+        """Cost of a *frozen* plan: real fused-op counts, real byte sizes.
+
+        Same roofline as :meth:`estimate`, but charged per
+        :class:`~repro.inference.plan.FusedOp` instead of per layer —
+        which is where freezing pays on the cost side:
+
+        * a folded standalone activation launches no kernel of its own,
+          so the plan pays one ``kernel_overhead`` where the layerwise
+          model paid two;
+        * ``param_bytes`` comes from the plan's number format — an int8
+          plan streams one byte per weight plus its scales, which is the
+          4x traffic cut the paper's bandwidth-starved platforms feel.
+
+        ``plan`` is duck-typed (anything with ``ops`` carrying ``kind``,
+        ``name``, ``flops``, ``param_bytes``, ``activation_bytes``), so
+        this module keeps importing nothing above :mod:`repro.nn`.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        platform = self.platform
+        n_batches = -(-n_samples // batch_size)  # ceil
+
+        compute_per_flop = 1.0 / (platform.effective_gflops * 1e9)
+        bytes_per_second = platform.effective_bandwidth_gbs * 1e9
+        overhead_s = platform.kernel_overhead_us * 1e-6
+
+        per_op: Dict[str, float] = {}
+        total = 0.0
+        for i, op in enumerate(plan.ops):
+            if op.kind == "view":
+                continue  # reshape/flatten are free views
+            compute_time = op.flops * batch_size * compute_per_flop
+            traffic = op.param_bytes + op.activation_bytes * batch_size
+            memory_time = traffic / bytes_per_second
+            op_time = (max(compute_time, memory_time) + overhead_s) * n_batches
+            per_op[f"{i}:{op.name}"] = op_time
+            total += op_time
+
+        energy = platform.active_power_w * total
+        return CostEstimate(
+            platform=platform.name,
+            n_samples=n_samples,
+            batch_size=batch_size,
+            execution_time_s=total,
+            power_w=platform.active_power_w,
+            energy_j=energy,
+            per_layer_seconds=per_op,
+        )
+
     def compare_to(
         self, other: "InferenceCostModel", model: Sequential, n_samples: int,
         batch_size: int = 128,

@@ -11,46 +11,94 @@ embedded fabrics.
 Quantized inference here is *simulated*: weights are rounded to the int8
 grid and dequantized back to float for execution, which reproduces the
 rounding error exactly while reusing the float kernels (the standard
-"fake quantization" evaluation approach).
+"fake quantization" evaluation approach).  The *compiled* consumer of
+this module is :mod:`repro.inference`, which freezes the quantized
+payload into an :class:`~repro.inference.plan.InferencePlan` and ships
+the int8 tensors + scales to disk.
+
+Scale semantics: ``scale == 0.0`` marks a tensor (or, per-channel, a
+channel) that was identically zero — dequantization multiplies by 0.0
+and reproduces it exactly.  Earlier versions silently recorded ``1.0``
+for this case, which round-tripped correctly only because the quantized
+values were also zero; a consumer that inspected scales (e.g. to rank
+tensors by dynamic range) would have seen a fictitious range.
+
+``per_channel=True`` keys scales to the *last* axis of each tensor with
+``ndim >= 2`` — the output-channel axis for conv ``(K, C, F)`` and dense
+``(in, units)`` weights — so one saturated filter no longer inflates the
+rounding step of every other filter in the tensor.  1-D tensors
+(biases) always use a per-tensor scale: per-element scales would make
+quantization a no-op.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from repro.nn.metrics import mean_absolute_error
 from repro.nn.model import Sequential
 
-__all__ = ["QuantizationReport", "quantize_weights", "QuantizedModel"]
+__all__ = [
+    "QuantizationReport",
+    "quantize_tensor",
+    "quantize_weights",
+    "QuantizedModel",
+]
 
 _INT8_MAX = 127
 
+#: A per-tensor scale is a plain float; per-channel scales are a 1-D
+#: array over the tensor's last axis.
+Scale = Union[float, np.ndarray]
 
-def _quantize_tensor(weight: np.ndarray) -> Tuple[np.ndarray, float]:
-    """Symmetric per-tensor int8 quantization; returns (int8 array, scale)."""
+
+def quantize_tensor(
+    weight: np.ndarray, per_channel: bool = False
+) -> Tuple[np.ndarray, Scale]:
+    """Symmetric int8 quantization of one tensor; returns (int8, scale).
+
+    Per-tensor by default; with ``per_channel=True`` and ``ndim >= 2``,
+    one scale per last-axis channel.  All-zero tensors/channels record
+    ``scale = 0.0`` explicitly (see module docstring).
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if per_channel and weight.ndim >= 2:
+        peak = np.max(np.abs(weight), axis=tuple(range(weight.ndim - 1)))
+        scale = peak / _INT8_MAX
+        # Dead channels: divide by 1.0 (yielding zeros) but keep scale 0.0.
+        safe = np.where(scale == 0.0, 1.0, scale)
+        quantized = np.clip(np.round(weight / safe), -_INT8_MAX, _INT8_MAX)
+        return quantized.astype(np.int8), scale
     peak = float(np.max(np.abs(weight)))
     if peak == 0.0:
-        return np.zeros(weight.shape, dtype=np.int8), 1.0
+        return np.zeros(weight.shape, dtype=np.int8), 0.0
     scale = peak / _INT8_MAX
     quantized = np.clip(np.round(weight / scale), -_INT8_MAX, _INT8_MAX)
     return quantized.astype(np.int8), scale
 
 
-def quantize_weights(model: Sequential) -> Tuple[List[np.ndarray], List[float]]:
+# Backwards-compatible per-tensor alias (pre-per-channel callers).
+def _quantize_tensor(weight: np.ndarray) -> Tuple[np.ndarray, float]:
+    return quantize_tensor(weight, per_channel=False)
+
+
+def quantize_weights(
+    model: Sequential, per_channel: bool = False
+) -> Tuple[List[np.ndarray], List[Scale]]:
     """Quantize every weight tensor of a built model.
 
-    Returns the int8 tensors and their per-tensor scales, in
-    ``get_weights`` order.
+    Returns the int8 tensors and their scales (floats, or 1-D arrays for
+    per-channel ``ndim >= 2`` tensors), in ``get_weights`` order.
     """
     if not model.built:
         raise ValueError("model must be built before quantization")
     tensors: List[np.ndarray] = []
-    scales: List[float] = []
+    scales: List[Scale] = []
     for weight in model.get_weights():
-        quantized, scale = _quantize_tensor(weight)
+        quantized, scale = quantize_tensor(weight, per_channel=per_channel)
         tensors.append(quantized)
         scales.append(scale)
     return tensors, scales
@@ -73,9 +121,10 @@ class QuantizationReport:
 class QuantizedModel:
     """A model executing with int8-rounded (dequantized) weights."""
 
-    def __init__(self, model: Sequential):
+    def __init__(self, model: Sequential, per_channel: bool = False):
         self.model = model
-        self._int8, self._scales = quantize_weights(model)
+        self.per_channel = bool(per_channel)
+        self._int8, self._scales = quantize_weights(model, per_channel=per_channel)
         self._original = model.get_weights()
 
     def dequantized_weights(self) -> List[np.ndarray]:
@@ -103,9 +152,10 @@ class QuantizedModel:
                 continue
             worst = max(worst, float(np.max(np.abs(original - dequantized))) / scale)
         n_params = sum(w.size for w in self._original)
+        n_scales = sum(int(np.size(scale)) for scale in self._scales)
         return QuantizationReport(
             float32_bytes=4 * n_params,
-            int8_bytes=1 * n_params + 4 * len(self._scales),
+            int8_bytes=1 * n_params + 4 * n_scales,
             prediction_mae=mean_absolute_error(int8_pred, float_pred),
             worst_tensor_error=worst,
         )

@@ -106,6 +106,33 @@ class Sequential:
         ]
         return np.concatenate(chunks, axis=0)
 
+    def freeze(
+        self,
+        dtype: str = "float32",
+        per_channel: bool = False,
+        calibration: Optional[np.ndarray] = None,
+        contract: Optional[float] = None,
+    ):
+        """Compile this built model into an immutable inference plan.
+
+        Returns an :class:`~repro.inference.plan.InferencePlan` — fused
+        conv/dense + bias + activation ops with precomputed im2col index
+        plans, float32 weights by default or calibrated symmetric int8
+        (``dtype="int8"``, optionally ``per_channel=True``).  Execute it
+        with :class:`~repro.inference.engine.InferenceEngine`; raises
+        :class:`~repro.inference.plan.UnsupportedLayerError` if a layer
+        has no fused kernel (LSTM, BatchNorm, composite blocks).
+        """
+        from repro.inference import freeze as freeze_plan
+
+        return freeze_plan(
+            self,
+            dtype=dtype,
+            per_channel=per_channel,
+            calibration=calibration,
+            contract=contract,
+        )
+
     def train_on_batch(self, x: np.ndarray, y: np.ndarray) -> float:
         """One optimizer step on a single batch; returns the batch loss."""
         self._require_compiled()

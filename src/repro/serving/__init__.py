@@ -23,7 +23,11 @@ hold under load and failure:
 
 Layering: ``serving`` sits above ``reliability`` and below nothing — it
 may be driven by any analyzer callable (ANN, IHM, or a
-:class:`~repro.reliability.degradation.GuardedAnalyzer` ladder).
+:class:`~repro.reliability.degradation.GuardedAnalyzer` ladder).  The
+opt-in frozen path (``AnalysisService(frozen=...)`` /
+``batch_analyzer_from_model(..., frozen=...)``) reaches *down* into the
+:mod:`repro.inference` leaf to compile the model once and serve batches
+from preallocated scratch; the reverse import never happens.
 """
 
 from repro.serving.batching import (

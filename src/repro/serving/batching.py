@@ -319,7 +319,9 @@ class BrownoutGovernor:
         }
 
 
-def batch_analyzer_from_model(model, validate: bool = False) -> Callable:
+def batch_analyzer_from_model(
+    model, validate: bool = False, frozen: Optional[str] = None
+) -> Callable:
     """A ``batch_analyzer(matrix) -> (n, outputs)`` over a Sequential.
 
     Pads a batch of one to two rows before the forward pass so every row
@@ -336,7 +338,51 @@ def batch_analyzer_from_model(model, validate: bool = False) -> Callable:
     other shapes; if bit-reproducibility across batch sizes matters for
     a new model, probe it the way ``TestByteIdentity`` does before
     relying on it.
+
+    ``frozen`` opts into the compiled inference path: ``"float32"`` or
+    ``"int8"`` (``True`` means ``"float32"``) freezes the model into an
+    :class:`~repro.inference.plan.InferencePlan` and serves it through
+    an :class:`~repro.inference.engine.InferenceEngine` — preallocated
+    scratch, fused kernels, no per-layer allocation.  If the model has a
+    layer the plan compiler does not support, this *silently falls back*
+    to the reference float64 path, so callers can request ``frozen=``
+    unconditionally.  The returned callable carries ``engine`` (the
+    engine, or ``None``) and ``frozen_dtype`` (the effective dtype, or
+    ``None`` after fallback) for introspection.  Note the contract
+    change: the frozen path promises accuracy within the plan's pinned
+    MAE budget versus the reference, not byte-identity with it.
     """
+    if frozen is not None:
+        from repro.inference import (
+            InferenceEngine,
+            UnsupportedLayerError,
+            freeze,
+        )
+
+        dtype = "float32" if frozen is True else str(frozen)
+        try:
+            engine = InferenceEngine(freeze(model, dtype=dtype))
+        except UnsupportedLayerError:
+            engine = None  # fall through to the reference path below
+        if engine is not None:
+            if validate:
+                from repro.reliability.validation import validate_batch
+
+            def frozen_batch_analyzer(matrix: np.ndarray) -> np.ndarray:
+                if validate:
+                    matrix = validate_batch(
+                        matrix, feature_shape=model.input_shape, field="x"
+                    )
+                else:
+                    matrix = np.asarray(matrix, dtype=np.float64)
+                if matrix.shape[0] == 1:
+                    padded = np.concatenate([matrix, matrix], axis=0)
+                    return engine.predict(padded)[:1]
+                return engine.predict(matrix)
+
+            frozen_batch_analyzer.engine = engine
+            frozen_batch_analyzer.frozen_dtype = dtype
+            return frozen_batch_analyzer
 
     def batch_analyzer(matrix: np.ndarray) -> np.ndarray:
         matrix = np.asarray(matrix, dtype=np.float64)
@@ -345,4 +391,6 @@ def batch_analyzer_from_model(model, validate: bool = False) -> Callable:
             return model.predict(padded, validate=validate)[:1]
         return model.predict(matrix, validate=validate)
 
+    batch_analyzer.engine = None
+    batch_analyzer.frozen_dtype = None
     return batch_analyzer

@@ -46,6 +46,18 @@ Two opt-in control layers ride on the same contract:
   deadlines, shed low-priority work — with hysteresis, surfaced in
   :meth:`AnalysisService.stats` and traced as ``serving.brownout`` span
   events.
+* **Frozen inference** (pass ``frozen="float32"`` or ``"int8"`` with a
+  built ``Sequential`` as the analyzer): the model is compiled once into
+  an :class:`~repro.inference.plan.InferencePlan` and batches execute in
+  the :class:`~repro.inference.engine.InferenceEngine`'s preallocated
+  scratch instead of the float64 layer-by-layer reference.  The contract
+  weakens from byte-identity to accuracy within the plan's pinned MAE
+  budget; models with plan-unsupported layers fall back to the reference
+  path automatically (``stats()["frozen"]`` reports the effective
+  dtype, ``None`` after fallback).  ``validate_at_admission=True``
+  additionally moves the per-row validation gate to ``submit()`` so the
+  batched drain skips the redundant re-validation (invalid rows are
+  still refused exactly once, just earlier).
 """
 
 from __future__ import annotations
@@ -69,6 +81,7 @@ from repro.serving.batching import (
     BatchingPolicy,
     BrownoutGovernor,
     BrownoutTransition,
+    batch_analyzer_from_model,
 )
 from repro.serving.circuit import CircuitBreaker
 
@@ -156,6 +169,9 @@ class PendingRequest:
         self.data = data
         self.deadline_at = deadline_at
         self.priority = int(priority)
+        # True once the service validated `data` at admission; the drain
+        # paths then skip the redundant re-validation.
+        self.prevalidated = False
         self._clock = clock
         self._enqueued_at = float(clock())
         self._resolved_at: Optional[float] = None
@@ -267,6 +283,8 @@ class AnalysisService:
         governor: Optional[BrownoutGovernor] = None,
         shadow_tap: Optional[Callable] = None,
         uncertainty=None,
+        frozen: Optional[str] = None,
+        validate_at_admission: bool = False,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -274,8 +292,37 @@ class AnalysisService:
             raise ValueError("queue_size must be >= 1")
         if default_deadline_s <= 0:
             raise ValueError("default_deadline_s must be positive")
+        # Frozen serving: `analyzer` is a built Sequential, compiled once
+        # into an InferencePlan and served through the InferenceEngine's
+        # preallocated-scratch batch path.  Falls back transparently to
+        # the reference float64 path when the model has a layer the plan
+        # compiler does not support (frozen_dtype stays None then).
+        self.frozen_dtype: Optional[str] = None
+        if frozen is not None:
+            if batch_analyzer is not None:
+                raise ValueError(
+                    "pass either frozen= or batch_analyzer=, not both"
+                )
+            model = analyzer
+            if not (hasattr(model, "predict")
+                    and getattr(model, "built", False)):
+                raise ValueError(
+                    "frozen= requires a built Sequential model as the "
+                    "analyzer"
+                )
+            batch_analyzer = batch_analyzer_from_model(model, frozen=frozen)
+            self.frozen_dtype = batch_analyzer.frozen_dtype
+            input_shape = getattr(model, "input_shape", None)
+            if (expected_length is None and input_shape is not None
+                    and len(input_shape) == 1):
+                expected_length = int(input_shape[0])
+
+            def analyzer(row, _batch=batch_analyzer):  # noqa: F811
+                return _batch(np.asarray(row, dtype=np.float64)[None, :])[0]
+
         if batch_analyzer is not None and batching is None:
             batching = BatchingPolicy()
+        self.validate_at_admission = bool(validate_at_admission)
         self.analyzer = analyzer
         self.workers = int(workers)
         self.queue_size = int(queue_size)
@@ -542,6 +589,28 @@ class AnalysisService:
                 parent_span=submit_span,
             )
             return request
+        if self.validate_at_admission:
+            # Admission-time validation: the drain paths skip their
+            # per-row re-validation for prevalidated requests, so a row
+            # is gated exactly once either way.  Invalid input never
+            # even occupies a queue slot.
+            try:
+                request.data = self._validate(request.data)
+                request.prevalidated = True
+            except ValidationError as error:
+                submit_span.set_attribute("outcome", "invalid_input")
+                submit_span.end(status="error: invalid_input")
+                self._finish(
+                    request,
+                    Rejected(
+                        reason="invalid_input",
+                        request_id=request.request_id,
+                        latency_s=request.latency(),
+                        detail={"error": str(error)},
+                    ),
+                    parent_span=submit_span,
+                )
+                return request
         # The queue span must be attached before the enqueue: a worker can
         # dequeue the request before put_nowait even returns.
         request._queue_span = self.tracer.start_span(
@@ -585,6 +654,7 @@ class AnalysisService:
                 "abstentions": dict(self.abstentions),
                 "abstained": sum(self.abstentions.values()),
                 "circuit_state": self.breaker.state,
+                "frozen": self.frozen_dtype,
             }
         if self.uncertainty is not None:
             base["abstention_rate"] = self.abstention_rate()
@@ -817,9 +887,13 @@ class AnalysisService:
                     )
                 return
             # Per-row validation gate: a malformed spectrum rejects only
-            # its own request, never its batchmates.
+            # its own request, never its batchmates.  Rows validated at
+            # admission are not re-gated here.
             valid = []
             for request in admitted:
+                if request.prevalidated:
+                    valid.append((request, request.data))
+                    continue
                 try:
                     data = self._validate(request.data)
                 except ValidationError as error:
@@ -1122,7 +1196,10 @@ class AnalysisService:
             attributes={"request_id": request.request_id},
         )
         try:
-            data = self._validate(request.data)
+            data = (
+                request.data if request.prevalidated
+                else self._validate(request.data)
+            )
         except ValidationError as error:
             # Bad input is the caller's fault, not the analyzer's: it must
             # not push the breaker toward open.

@@ -7,6 +7,7 @@ from repro import nn
 from repro.embedded.quantization import (
     QuantizedModel,
     _quantize_tensor,
+    quantize_tensor,
     quantize_weights,
 )
 
@@ -33,10 +34,15 @@ class TestTensorQuantization:
         dequantized = quantized.astype(np.float64) * scale
         assert np.max(np.abs(weight - dequantized)) <= scale / 2 + 1e-12
 
-    def test_zero_tensor(self):
+    def test_zero_tensor_records_zero_scale(self):
+        # Regression: an all-zero tensor must record scale = 0.0
+        # explicitly, not a fictitious 1.0 dynamic range.
         quantized, scale = _quantize_tensor(np.zeros((3, 3)))
         assert np.all(quantized == 0)
-        assert scale == 1.0
+        assert scale == 0.0
+        np.testing.assert_array_equal(
+            quantized.astype(np.float64) * scale, np.zeros((3, 3))
+        )
 
     def test_int8_range_respected(self):
         weight = np.array([-10.0, 10.0, 0.1])
@@ -48,6 +54,56 @@ class TestTensorQuantization:
         weight = np.array([-2.0, 0.5, 2.0])
         quantized, scale = _quantize_tensor(weight)
         np.testing.assert_allclose(quantized[[0, 2]] * scale, [-2.0, 2.0])
+
+
+class TestPerChannelQuantization:
+    def test_scale_shape_follows_last_axis(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(5, 3, 8))
+        quantized, scale = quantize_tensor(weight, per_channel=True)
+        assert quantized.dtype == np.int8
+        assert np.shape(scale) == (8,)
+
+    def test_one_d_tensor_stays_per_tensor(self):
+        quantized, scale = quantize_tensor(np.array([1.0, -4.0]), per_channel=True)
+        assert isinstance(scale, float)
+        assert quantized.min() == -127
+
+    def test_per_channel_never_worse_than_per_tensor(self):
+        # One saturated column should not inflate everyone's step size.
+        rng = np.random.default_rng(2)
+        weight = rng.normal(size=(20, 6))
+        weight[:, 0] *= 100.0
+
+        def roundtrip_error(per_channel):
+            quantized, scale = quantize_tensor(weight, per_channel=per_channel)
+            return np.max(np.abs(weight - quantized.astype(np.float64) * scale))
+
+        assert roundtrip_error(True) < roundtrip_error(False)
+
+    def test_dead_channel_records_zero_scale(self):
+        # Regression: a zero channel must carry scale 0.0, and its
+        # neighbours must quantize against their own dynamic range.
+        weight = np.array([[0.0, 2.0], [0.0, -1.0]])
+        quantized, scale = quantize_tensor(weight, per_channel=True)
+        np.testing.assert_allclose(scale, [0.0, 2.0 / 127])
+        assert np.all(quantized[:, 0] == 0)
+        np.testing.assert_allclose(
+            quantized[:, 1].astype(np.float64) * scale[1], [2.0, -1.0],
+            atol=scale[1] / 2,
+        )
+
+    def test_quantized_model_per_channel_report(self):
+        model, x = _trained_model()
+        per_tensor = QuantizedModel(model).report(x[:32])
+        per_channel = QuantizedModel(model, per_channel=True).report(x[:32])
+        # Weight-level error shrinks (smaller per-channel steps); output
+        # MAE stays within the same budget either way.
+        assert per_channel.worst_tensor_error <= per_tensor.worst_tensor_error + 1e-12
+        assert per_channel.prediction_mae < 0.02
+        # Per-channel pays a few extra scale floats, nothing more.
+        assert per_channel.int8_bytes >= per_tensor.int8_bytes
+        assert per_channel.compression_ratio > 3.0
 
 
 class TestQuantizedModel:

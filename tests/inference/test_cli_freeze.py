@@ -1,0 +1,101 @@
+"""Unit tests for the ``repro freeze`` CLI subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    root = tmp_path_factory.mktemp("freeze_cli")
+    data = root / "ms.npz"
+    assert main([
+        "ms-generate", "--compounds", "N2,O2,Ar", "--n", "120",
+        "--mz-step", "0.5", "--out", str(data),
+    ]) == 0
+    model = root / "model.npz"
+    assert main([
+        "train", "--data", str(data), "--topology", "mlp",
+        "--epochs", "1", "--out", str(model),
+    ]) == 0
+    return model, data
+
+
+class TestFreeze:
+    def test_default_out_path(self, checkpoint, capsys):
+        model, _ = checkpoint
+        assert main(["freeze", str(model)]) == 0
+        out = capsys.readouterr().out
+        plan_path = model.with_suffix(".plan")
+        assert plan_path.exists()
+        assert "InferencePlan" in out
+        assert "fused ops from" in out
+        assert f"saved plan envelope to {plan_path}" in out
+
+    def test_int8_calibrated(self, checkpoint, tmp_path, capsys):
+        model, data = checkpoint
+        out = tmp_path / "int8.plan"
+        assert main([
+            "freeze", str(model), "--dtype", "int8", "--per-channel",
+            "--calibrate", str(data), "--calibrate-samples", "32",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert out.exists()
+        assert "per-channel" in text
+        assert "calibrated on 32 samples" in text
+
+    def test_contract_override_lands_in_plan(self, checkpoint, tmp_path,
+                                             capsys):
+        model, _ = checkpoint
+        out = tmp_path / "tight.plan"
+        assert main([
+            "freeze", str(model), "--contract", "1e-3", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["freeze", str(out), "--verify"]) == 0
+        assert "contract MAE <= 0.001" in capsys.readouterr().out
+
+
+class TestInspectVerify:
+    @pytest.fixture()
+    def plan_path(self, checkpoint, tmp_path, capsys):
+        model, _ = checkpoint
+        path = tmp_path / "model.plan"
+        assert main(["freeze", str(model), "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_verify_clean(self, plan_path, capsys):
+        assert main(["freeze", str(plan_path), "--verify"]) == 0
+        assert "plan OK:" in capsys.readouterr().out
+
+    def test_inspect_prints_json(self, plan_path, capsys):
+        assert main(["freeze", str(plan_path), "--inspect"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["dtype"] == "float32"
+        assert info["fused_op_count"] >= 1
+        assert info["file_bytes"] > 0
+
+    def test_verify_corrupt_exits_nonzero(self, plan_path, capsys):
+        blob = bytearray(plan_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        plan_path.write_bytes(bytes(blob))
+        assert main(["freeze", str(plan_path), "--verify"]) == 1
+        assert "plan check FAILED" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_help_lists_freeze(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "freeze" in capsys.readouterr().out
+
+    def test_bad_dtype_rejected(self, checkpoint):
+        model, _ = checkpoint
+        with pytest.raises(SystemExit):
+            main(["freeze", str(model), "--dtype", "float16"])

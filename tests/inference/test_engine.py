@@ -1,0 +1,139 @@
+"""Unit tests for the engine: scratch reuse, workspace cache, contracts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.inference import AccuracyContractError, InferenceEngine, freeze
+
+
+def _model(input_length=40):
+    model = nn.Sequential(
+        [
+            nn.Reshape((-1, 1)),
+            nn.Conv1D(4, 5, strides=2, activation="selu"),
+            nn.MaxPool1D(2),
+            nn.Flatten(),
+            nn.Dense(8, activation="relu"),
+            nn.Dense(3, activation="softmax"),
+        ]
+    )
+    model.build((input_length,), seed=0)
+    return model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = _model()
+    rng = np.random.default_rng(0)
+    x = rng.random((32, 40))
+    return model, freeze(model), x
+
+
+class TestCorrectness:
+    def test_matches_reference_forward_pass(self, setup):
+        model, plan, x = setup
+        engine = InferenceEngine(plan)
+        reference = model.predict(x, validate=False)
+        out = engine.predict(x)
+        assert out.dtype == np.float64
+        assert np.max(np.abs(out - reference)) < 1e-6
+
+    def test_call_alias(self, setup):
+        _, plan, x = setup
+        engine = InferenceEngine(plan)
+        np.testing.assert_array_equal(engine(x), engine.predict(x))
+
+    def test_chunked_equals_one_shot(self, setup):
+        _, plan, x = setup
+        engine = InferenceEngine(plan)
+        one_shot = engine.predict(x)
+        chunked = engine.predict(x, batch_size=5)
+        np.testing.assert_allclose(chunked, one_shot, atol=1e-6)
+
+    def test_result_is_fresh_writable_array(self, setup):
+        _, plan, x = setup
+        engine = InferenceEngine(plan)
+        first = engine.predict(x)
+        first[:] = -1.0  # caller may scribble on its result...
+        second = engine.predict(x)
+        assert np.all(second >= 0.0)  # ...without poisoning the next call
+
+    def test_input_shape_mismatch_rejected(self, setup):
+        _, plan, _ = setup
+        with pytest.raises(ValueError, match="expected input shape"):
+            InferenceEngine(plan).predict(np.zeros((4, 41)))
+
+    def test_bad_batch_size_rejected(self, setup):
+        _, plan, x = setup
+        with pytest.raises(ValueError, match="batch_size"):
+            InferenceEngine(plan).predict(x, batch_size=0)
+
+
+class TestScratchReuse:
+    def test_second_call_allocates_nothing_new(self, setup):
+        _, plan, x = setup
+        engine = InferenceEngine(plan)
+        engine.predict(x)
+        allocations = engine.stats()["scratch_allocations"]
+        scratch_bytes = engine.stats()["scratch_bytes"]
+        assert allocations > 0
+        for _ in range(3):
+            engine.predict(x)
+        stats = engine.stats()
+        assert stats["scratch_allocations"] == allocations
+        assert stats["scratch_bytes"] == scratch_bytes
+        assert stats["cache_hits"] == 3
+
+    def test_capacities_round_to_powers_of_two(self, setup):
+        _, plan, x = setup
+        engine = InferenceEngine(plan)
+        engine.predict(x[:5])
+        assert engine.stats()["cached_capacities"] == [8]
+
+    def test_ragged_batches_share_workspaces(self, setup):
+        _, plan, x = setup
+        engine = InferenceEngine(plan)
+        for n in (3, 7, 8, 4):  # capacities 4, 8, 8, 4
+            engine.predict(x[:n])
+        stats = engine.stats()
+        assert stats["cached_capacities"] == [4, 8]
+        assert stats["cache_misses"] == 2
+        assert stats["cache_hits"] == 2
+
+    def test_lru_eviction_respects_cap(self, setup):
+        _, plan, x = setup
+        engine = InferenceEngine(plan, max_cached_capacities=2)
+        engine.predict(x[:1])   # capacity 1
+        engine.predict(x[:2])   # capacity 2
+        engine.predict(x[:4])   # capacity 4 -> evicts 1 (least recent)
+        assert engine.stats()["cached_capacities"] == [2, 4]
+        misses = engine.stats()["cache_misses"]
+        engine.predict(x[:1])   # must recompile
+        assert engine.stats()["cache_misses"] == misses + 1
+
+    def test_invalid_cache_cap_rejected(self, setup):
+        _, plan, _ = setup
+        with pytest.raises(ValueError, match="max_cached_capacities"):
+            InferenceEngine(plan, max_cached_capacities=0)
+
+
+class TestAccuracyContract:
+    def test_verify_against_reports_deltas(self, setup):
+        model, plan, x = setup
+        report = InferenceEngine(plan).verify_against(model, x)
+        assert report["n_samples"] == 32
+        assert 0.0 <= report["mae_delta"] <= report["max_abs_delta"]
+        assert report["contract_mae"] == plan.contract
+
+    def test_ensure_accuracy_passes_within_contract(self, setup):
+        model, plan, x = setup
+        report = InferenceEngine(plan).ensure_accuracy(model, x)
+        assert report["mae_delta"] <= plan.contract
+
+    def test_ensure_accuracy_raises_on_drift(self, setup):
+        model, _, x = setup
+        # An impossible contract turns quantization noise into drift.
+        tight = freeze(model, dtype="int8", contract=1e-12)
+        with pytest.raises(AccuracyContractError, match="drifted"):
+            InferenceEngine(tight).ensure_accuracy(model, x)

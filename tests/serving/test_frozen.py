@@ -1,0 +1,188 @@
+"""Frozen inference through AnalysisService: wiring, validation, soak.
+
+Covers the opt-in compiled path (``frozen=``), the admission-time
+validation gate (``validate_at_admission=``), automatic fallback for
+plan-unsupported models, and the exactly-once / finiteness / accuracy
+contracts under burst overload.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.observability import MetricsRegistry
+from repro.reliability.validation import validate_spectrum
+from repro.serving import (
+    AnalysisService,
+    BatchingPolicy,
+    Completed,
+    Rejected,
+)
+
+LENGTH = 60
+OUTPUTS = 3
+
+
+def _model(seed=0):
+    model = nn.Sequential(
+        [
+            nn.Reshape((-1, 1)),
+            nn.Conv1D(4, 5, strides=2, activation="selu"),
+            nn.Flatten(),
+            nn.Dense(OUTPUTS, activation="softmax"),
+        ]
+    )
+    model.build((LENGTH,), seed=seed)
+    return model
+
+
+def _service(model, **kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("queue_size", 64)
+    kwargs.setdefault("default_deadline_s", 30.0)
+    kwargs.setdefault("registry", MetricsRegistry())
+    return AnalysisService(model, **kwargs)
+
+
+class TestFrozenWiring:
+    def test_frozen_service_serves_within_contract(self):
+        model = _model()
+        rng = np.random.default_rng(0)
+        spectra = rng.random((40, LENGTH))
+        reference = model.predict(spectra, validate=False)
+        with _service(model, frozen="float32") as service:
+            results = [service.analyze(row) for row in spectra]
+            stats = service.stats()
+        assert all(isinstance(r, Completed) for r in results)
+        served = np.stack([r.value for r in results])
+        assert float(np.mean(np.abs(served - reference))) <= 1e-5
+        assert stats["frozen"] == "float32"
+        assert stats["completed"] == 40
+
+    def test_frozen_int8_within_pinned_budget(self):
+        model = _model()
+        rng = np.random.default_rng(1)
+        spectra = rng.random((20, LENGTH))
+        reference = model.predict(spectra, validate=False)
+        with _service(model, frozen="int8") as service:
+            results = [service.analyze(row) for row in spectra]
+            assert service.stats()["frozen"] == "int8"
+        served = np.stack([r.value for r in results])
+        assert float(np.mean(np.abs(served - reference))) <= 2e-2
+
+    def test_expected_length_derived_from_model(self):
+        service = _service(_model(), frozen="float32")
+        assert service.expected_length == LENGTH
+
+    def test_frozen_and_batch_analyzer_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            _service(
+                _model(), frozen="float32", batch_analyzer=lambda m: m
+            )
+
+    def test_frozen_requires_built_model(self):
+        with pytest.raises(ValueError, match="built Sequential"):
+            _service(lambda row: row, frozen="float32")
+
+    def test_unsupported_model_falls_back(self):
+        model = nn.Sequential(
+            [nn.Reshape((-1, 1)), nn.LSTM(8), nn.Dense(OUTPUTS)]
+        )
+        model.build((LENGTH,), seed=0)
+        rng = np.random.default_rng(2)
+        spectra = rng.random((6, LENGTH))
+        reference = model.predict(spectra, validate=False)
+        with _service(model, frozen="float32") as service:
+            results = [service.analyze(row) for row in spectra]
+            assert service.stats()["frozen"] is None
+        # Fallback path is the reference analyzer: byte-identical.
+        for row_result, expected in zip(results, reference):
+            np.testing.assert_array_equal(row_result.value, expected)
+
+
+class TestValidateAtAdmission:
+    @pytest.mark.parametrize("at_admission", [False, True])
+    def test_invalid_rows_caught_exactly_once(self, at_admission):
+        model = _model()
+        calls = []
+
+        def counting_validator(data):
+            calls.append(1)
+            return validate_spectrum(data, length=LENGTH)
+
+        rng = np.random.default_rng(3)
+        good = rng.random((10, LENGTH))
+        bad = np.full(LENGTH, np.nan)
+        with _service(
+            model,
+            frozen="float32",
+            validator=counting_validator,
+            validate_at_admission=at_admission,
+            batching=BatchingPolicy(max_batch=8, max_wait_s=0.0005),
+        ) as service:
+            results = [service.analyze(row) for row in good]
+            bad_result = service.analyze(bad)
+        assert all(r.ok for r in results)
+        assert isinstance(bad_result, Rejected)
+        assert bad_result.reason == "invalid_input"
+        # Every row — valid or not — passed the gate exactly once,
+        # wherever the gate sits.
+        assert len(calls) == 11
+
+    def test_invalid_row_rejected_before_queueing(self):
+        service = _service(
+            _model(), frozen="float32", validate_at_admission=True
+        )
+        with service:
+            request = service.submit(np.full(LENGTH, np.inf))
+            # Shed at admission: resolved before any worker touched it.
+            assert request.resolved
+            result = request.result(timeout=5.0)
+        assert result.reason == "invalid_input"
+        assert service.stats()["rejections"]["invalid_input"] == 1
+
+    def test_prevalidated_flag_set_on_admitted_requests(self):
+        with _service(
+            _model(), frozen="float32", validate_at_admission=True
+        ) as service:
+            request = service.submit(np.random.default_rng(4).random(LENGTH))
+            request.result(timeout=5.0)
+            assert request.prevalidated
+
+
+class TestFrozenOverloadSoak:
+    def test_burst_keeps_exactly_once_and_accuracy_contracts(self):
+        model = _model()
+        rng = np.random.default_rng(5)
+        n_burst = 300
+        spectra = rng.random((n_burst, LENGTH))
+        reference = model.predict(spectra, validate=False)
+        service = AnalysisService(
+            model,
+            frozen="float32",
+            validate_at_admission=True,
+            workers=2,
+            queue_size=8,
+            default_deadline_s=30.0,
+            registry=MetricsRegistry(),
+            batching=BatchingPolicy(max_batch=16, max_wait_s=0.0005),
+        )
+        with service:
+            pending = [service.submit(row) for row in spectra]
+            results = [p.result(timeout=30.0) for p in pending]
+            stats = service.stats()
+        # Exactly one terminal result per request, no hangs.
+        assert all(r is not None for r in results)
+        completed = [i for i, r in enumerate(results) if r.ok]
+        shed = [i for i, r in enumerate(results) if not r.ok]
+        assert len(completed) + len(shed) == n_burst
+        assert len(completed) > 0
+        for i in shed:
+            assert results[i].reason in ("queue_full", "deadline_exceeded")
+        assert stats["completed"] == len(completed)
+        # Every served answer is finite and within the float32 contract.
+        served = np.stack([results[i].value for i in completed])
+        assert np.isfinite(served).all()
+        assert float(
+            np.mean(np.abs(served - reference[completed]))
+        ) <= 1e-5
